@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks: predictor throughput (predict + update per
+//! indirect branch), one group per paper table/figure family.
+//!
+//! These measure the *simulator's* cost per event for each predictor
+//! organisation — the practical limit on how large a design-space sweep
+//! (like Table A-1) can be.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibp_core::{Predictor, PredictorConfig};
+use ibp_sim::simulate;
+use ibp_trace::Trace;
+use ibp_workload::Benchmark;
+
+fn trace() -> Trace {
+    Benchmark::Ixx.trace_with_len(20_000)
+}
+
+fn bench_config(c: &mut Criterion, group: &str, label: &str, cfg: &PredictorConfig) {
+    let trace = trace();
+    let mut g = c.benchmark_group(group);
+    g.throughput(Throughput::Elements(trace.indirect_count()));
+    g.bench_with_input(BenchmarkId::from_parameter(label), &trace, |b, trace| {
+        b.iter_batched(
+            || cfg.build(),
+            |mut p| simulate(trace, p.as_mut()),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+/// Figure 2 family: BTB variants.
+fn btb(c: &mut Criterion) {
+    bench_config(c, "fig2_btb", "btb_always", &PredictorConfig::btb());
+    bench_config(c, "fig2_btb", "btb_2bc", &PredictorConfig::btb_2bc());
+    bench_config(
+        c,
+        "fig2_btb",
+        "btb_4k_full_assoc",
+        &PredictorConfig::btb_bounded(4096),
+    );
+}
+
+/// Figure 9 family: unconstrained two-level predictors over path length.
+fn unconstrained(c: &mut Criterion) {
+    for p in [1usize, 3, 6, 12, 18] {
+        bench_config(
+            c,
+            "fig9_unconstrained",
+            &format!("p{p}"),
+            &PredictorConfig::unconstrained(p),
+        );
+    }
+}
+
+/// Figure 16 family: practical bounded predictors.
+fn practical(c: &mut Criterion) {
+    bench_config(
+        c,
+        "fig16_practical",
+        "tagless_1k",
+        &PredictorConfig::tagless(3, 1024),
+    );
+    bench_config(
+        c,
+        "fig16_practical",
+        "2way_1k",
+        &PredictorConfig::practical(3, 1024, 2),
+    );
+    bench_config(
+        c,
+        "fig16_practical",
+        "4way_1k",
+        &PredictorConfig::practical(3, 1024, 4),
+    );
+    bench_config(
+        c,
+        "fig16_practical",
+        "4way_8k",
+        &PredictorConfig::practical(4, 8192, 4),
+    );
+    bench_config(
+        c,
+        "fig16_practical",
+        "full_assoc_8k",
+        &PredictorConfig::full_assoc(4, 8192),
+    );
+}
+
+/// Table 6 family: hybrid predictors.
+fn hybrids(c: &mut Criterion) {
+    bench_config(
+        c,
+        "table6_hybrid",
+        "hybrid_3_1_1k",
+        &PredictorConfig::hybrid(3, 1, 512, 4),
+    );
+    bench_config(
+        c,
+        "table6_hybrid",
+        "hybrid_6_2_8k",
+        &PredictorConfig::hybrid(6, 2, 4096, 4),
+    );
+    bench_config(
+        c,
+        "table6_hybrid",
+        "bpst_3_1_1k",
+        &PredictorConfig::bpst(3, 1, 512, 4),
+    );
+}
+
+/// §8.1 family: future-work predictors.
+fn extensions(c: &mut Criterion) {
+    use ibp_core::ext::{CascadePredictor, MultiHybridPredictor, SharedTableHybrid};
+    use ibp_core::{CompressedKeySpec, TwoLevelPredictor};
+
+    let trace = trace();
+    let mut g = c.benchmark_group("ext_future_work");
+    g.throughput(Throughput::Elements(trace.indirect_count()));
+    let cascade = || {
+        Box::new(CascadePredictor::new(vec![
+            TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(6), 1024, 4),
+            TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(3), 1024, 4),
+            TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(0), 1024, 4),
+        ])) as Box<dyn Predictor>
+    };
+    let multi = || {
+        Box::new(MultiHybridPredictor::new(vec![
+            TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(6), 1024, 4),
+            TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(3), 1024, 4),
+            TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(1), 1024, 4),
+        ])) as Box<dyn Predictor>
+    };
+    let shared = || {
+        Box::new(SharedTableHybrid::new(
+            vec![
+                CompressedKeySpec::practical(5),
+                CompressedKeySpec::practical(1),
+            ],
+            2048,
+            4,
+        )) as Box<dyn Predictor>
+    };
+    for (label, make) in [
+        ("cascade_6_3_0", &cascade as &dyn Fn() -> Box<dyn Predictor>),
+        ("multi_6_3_1", &multi),
+        ("shared_table_5_1", &shared),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &trace, |b, trace| {
+            b.iter_batched(
+                make,
+                |mut p| simulate(trace, p.as_mut()),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = btb, unconstrained, practical, hybrids, extensions
+}
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks for the substrates under the predictors:
+//! tables, key construction and trace generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibp_core::table::{FullyAssocTable, LruMap, SetAssocTable, TaglessTable};
+use ibp_core::{CompressedKeySpec, HistoryRegister, Interleaving, KeyScheme, UpdateRule};
+use ibp_trace::Addr;
+use ibp_workload::Benchmark;
+
+/// Pseudo-random but fixed key stream.
+fn keys(n: usize) -> Vec<u64> {
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x & ((1 << 30) - 1)
+        })
+        .collect()
+}
+
+fn tables(c: &mut Criterion) {
+    let stream = keys(4096);
+    let target = Addr::new(0x8000);
+    let mut g = c.benchmark_group("table_ops");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+
+    g.bench_function("lru_map_insert_get", |b| {
+        b.iter(|| {
+            let mut m: LruMap<u64, u32> = LruMap::new(1024);
+            for &k in &stream {
+                m.insert(k, 1);
+                std::hint::black_box(m.peek(&k));
+            }
+            m.len()
+        });
+    });
+    g.bench_function("full_assoc_update_lookup", |b| {
+        b.iter(|| {
+            let mut t = FullyAssocTable::new(1024, 2);
+            for &k in &stream {
+                std::hint::black_box(t.lookup(k));
+                t.update(k, target, UpdateRule::TwoBitCounter);
+            }
+            t.len()
+        });
+    });
+    for ways in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("set_assoc_update_lookup", ways),
+            &ways,
+            |b, &ways| {
+                b.iter(|| {
+                    let mut t = SetAssocTable::new(1024, ways, 2);
+                    for &k in &stream {
+                        std::hint::black_box(t.lookup(k));
+                        t.update(k, target, UpdateRule::TwoBitCounter);
+                    }
+                    t.len()
+                });
+            },
+        );
+    }
+    g.bench_function("tagless_update_lookup", |b| {
+        b.iter(|| {
+            let mut t = TaglessTable::new(1024, 2);
+            for &k in &stream {
+                std::hint::black_box(t.lookup(k));
+                t.update(k, target, UpdateRule::TwoBitCounter);
+            }
+            t.len()
+        });
+    });
+    g.finish();
+}
+
+fn key_construction(c: &mut Criterion) {
+    let mut history = HistoryRegister::new(8);
+    for t in keys(8) {
+        history.push(Addr::from_word(t as u32));
+    }
+    let pc = Addr::new(0x1040);
+    let mut g = c.benchmark_group("key_construction");
+    g.throughput(Throughput::Elements(1));
+    for (label, spec) in [
+        ("xor_reverse_p3", CompressedKeySpec::practical(3)),
+        ("xor_reverse_p8", CompressedKeySpec::practical(8)),
+        (
+            "concat_p8",
+            CompressedKeySpec::practical(8).with_scheme(KeyScheme::Concat),
+        ),
+        (
+            "xor_concat_layout_p8",
+            CompressedKeySpec::practical(8).with_interleaving(Interleaving::Concat),
+        ),
+        (
+            "xor_pingpong_p8",
+            CompressedKeySpec::practical(8).with_interleaving(Interleaving::PingPong),
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            b.iter(|| spec.key(std::hint::black_box(pc), std::hint::black_box(&history)));
+        });
+    }
+    g.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_generation");
+    let events = 20_000u64;
+    g.throughput(Throughput::Elements(events));
+    for b in [Benchmark::Ixx, Benchmark::Gcc, Benchmark::Go] {
+        g.bench_with_input(BenchmarkId::from_parameter(b.name()), &b, |bench, &b| {
+            let model = b.config().build();
+            bench.iter(|| model.generate_with_len(events).indirect_count());
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = tables, key_construction, trace_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `ablations` (see `ibp_sim::experiments::ablations`).
+
+fn main() {
+    ibp_bench::run_experiment("ablations");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §5.1 analysis: miss-cause attribution and the pattern
+//! census (see `ibp_sim::experiments::analysis`).
+
+fn main() {
+    ibp_bench::run_experiment("analysis");
+}

@@ -1,0 +1,81 @@
+//! Workload-calibration diagnostics: per-benchmark BTB rates and best
+//! two-level floors compared against the paper's Table A-1 anchors, plus
+//! the AVG path-length sweep.
+//!
+//! Use this when tuning `Benchmark::config` knobs — every row should stay
+//! near its `paper2bc` / `paper-floor` anchor, and the sweep should keep
+//! its U-shape (steep drop, shallow minimum at a moderate p, rising tail).
+
+use ibp_core::{HistorySharing, PredictorConfig};
+use ibp_sim::Suite;
+use ibp_workload::{Benchmark, BenchmarkGroup};
+
+fn main() {
+    let suite = Suite::new();
+    // Paper anchors: Table A-1 btb col (bounded full-assoc at 32K ~ unconstrained 2bc).
+    let paper_btb: &[(Benchmark, f64)] = &[
+        (Benchmark::Idl, 2.40),
+        (Benchmark::Jhm, 11.13),
+        (Benchmark::SelfVm, 15.68),
+        (Benchmark::Troff, 13.70),
+        (Benchmark::Lcom, 4.25),
+        (Benchmark::Porky, 20.80),
+        (Benchmark::Ixx, 45.70),
+        (Benchmark::Eqn, 34.78),
+        (Benchmark::Beta, 28.57),
+        (Benchmark::Xlisp, 13.51),
+        (Benchmark::Perl, 31.80),
+        (Benchmark::Edg, 35.91),
+        (Benchmark::Gcc, 65.70),
+        (Benchmark::M88ksim, 76.41),
+        (Benchmark::Vortex, 20.19),
+        (Benchmark::Ijpeg, 1.26),
+        (Benchmark::Go, 29.25),
+    ];
+    // Two-level floor anchors: Table A-1 fullassoc column at 32768 entries.
+    let paper_floor: &[f64] = &[
+        0.42, 8.75, 10.18, 7.15, 1.39, 4.61, 5.58, 12.56, 2.20, 1.37, 0.45, 12.56, 11.71, 3.07,
+        9.89, 0.62, 22.82,
+    ];
+    let btb2 = suite.run(|| PredictorConfig::btb_2bc().build());
+    let btb = suite.run(|| PredictorConfig::btb().build());
+    // Best unconstrained two-level rate over p in 2..=8 per benchmark.
+    let sweeps: Vec<_> = (2..=8usize)
+        .map(|p| suite.run(|| PredictorConfig::unconstrained(p).build()))
+        .collect();
+    println!(
+        "{:>8}  {:>8} {:>8} {:>9} | {:>8} {:>10}",
+        "bench", "btb", "btb2bc", "paper2bc", "tl-best", "paper-floor"
+    );
+    for (i, &(b, paper)) in paper_btb.iter().enumerate() {
+        let floor = sweeps
+            .iter()
+            .map(|r| r.rate(b).unwrap())
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{:>8}  {:>8.2} {:>8.2} {:>9.2} | {:>8.2} {:>10.2}",
+            b.name(),
+            btb.rate(b).unwrap() * 100.0,
+            btb2.rate(b).unwrap() * 100.0,
+            paper,
+            floor * 100.0,
+            paper_floor[i]
+        );
+    }
+    println!();
+    println!("p-sweep (unconstrained, global hist, per-addr tables); paper AVG anchors: p0=24.9 p3=7.8 p6=5.8 rising after");
+    println!("{:>3} {:>8} {:>8} {:>8}", "p", "AVG", "AVG-OO", "AVG-C");
+    for p in 0..=18usize {
+        let r = suite.run(|| {
+            PredictorConfig::unconstrained(p)
+                .with_history_sharing(HistorySharing::GLOBAL)
+                .build()
+        });
+        println!(
+            "{p:>3} {:>8.2} {:>8.2} {:>8.2}",
+            r.avg() * 100.0,
+            r.group_rate(BenchmarkGroup::AvgOo).unwrap() * 100.0,
+            r.group_rate(BenchmarkGroup::AvgC).unwrap() * 100.0,
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Print a benchmark's calibrated profile: generator parameters, trace
+//! statistics (the Tables 1–2 row), and quick predictor anchors.
+//!
+//! ```text
+//! describe_benchmark gcc
+//! describe_benchmark            # all benchmarks, one line each
+//! ```
+
+use std::process::ExitCode;
+
+use ibp_core::PredictorConfig;
+use ibp_sim::simulate;
+use ibp_trace::CoverageLevel;
+use ibp_workload::Benchmark;
+
+fn describe(benchmark: Benchmark) {
+    let config = benchmark.config();
+    let trace = benchmark.trace_with_len(60_000);
+    let stats = trace.stats();
+
+    println!("== {} ==", benchmark.name());
+    println!(
+        "  suite: {}{}",
+        if benchmark.is_object_oriented() {
+            "OO (C++)"
+        } else {
+            "C"
+        },
+        if benchmark.is_infrequent() {
+            ", infrequent indirect branches"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  generator: {} sites, {} activities, {} idioms/{} families, {} modes, deviation {:.1}%, variants {:.1}%",
+        config.sites,
+        config.activities,
+        config.idioms,
+        config.idiom_families,
+        config.modes,
+        config.deviation * 100.0,
+        config.noise * 100.0
+    );
+    println!(
+        "  trace: {} instr/indirect, {} cond/indirect, {:.0}% virtual calls",
+        stats.instructions_per_indirect.round(),
+        stats.cond_per_indirect.round(),
+        stats.virtual_fraction * 100.0
+    );
+    println!(
+        "  active sites: {} @90%  {} @95%  {} @99%  {} total",
+        stats.active_sites(CoverageLevel::P90),
+        stats.active_sites(CoverageLevel::P95),
+        stats.active_sites(CoverageLevel::P99),
+        stats.active_sites(CoverageLevel::P100)
+    );
+    let mut btb = PredictorConfig::btb_2bc().build();
+    let btb_rate = simulate(&trace, btb.as_mut()).misprediction_rate();
+    let best = (1..=6usize)
+        .map(|p| {
+            let mut predictor = PredictorConfig::unconstrained(p).build();
+            (p, simulate(&trace, predictor.as_mut()).misprediction_rate())
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite rates"))
+        .expect("non-empty sweep");
+    println!(
+        "  anchors: BTB-2bc {:.2}%, best two-level {:.2}% at p={}",
+        btb_rate * 100.0,
+        best.1 * 100.0,
+        best.0
+    );
+    println!("  improvement: {:.1}x\n", btb_rate / best.1.max(1e-6));
+}
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    match arg {
+        None => {
+            for b in Benchmark::ALL {
+                describe(b);
+            }
+            ExitCode::SUCCESS
+        }
+        Some(name) => match Benchmark::ALL.iter().copied().find(|b| b.name() == name) {
+            Some(b) => {
+                describe(b);
+                ExitCode::SUCCESS
+            }
+            None => {
+                let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+                eprintln!("error: unknown benchmark {name:?}");
+                eprintln!("benchmarks: {}", names.join(" "));
+                ExitCode::from(2)
+            }
+        },
+    }
+}

@@ -1,0 +1,45 @@
+//! Export a synthetic benchmark trace to the IBPT text format, for use
+//! with external tools or with `simulate_trace`.
+//!
+//! ```text
+//! export_trace ixx 50000 > ixx.ibpt
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use ibp_trace::io::write_text;
+use ibp_workload::Benchmark;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(name) = args.next() else {
+        let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        eprintln!("usage: export_trace <benchmark> [events]");
+        eprintln!("benchmarks: {}", names.join(" "));
+        return ExitCode::from(2);
+    };
+    let Some(benchmark) = Benchmark::ALL.iter().copied().find(|b| b.name() == name) else {
+        eprintln!("error: unknown benchmark {name:?}");
+        return ExitCode::from(2);
+    };
+    let events: u64 = match args.next() {
+        None => 100_000,
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("error: bad event count {v:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let trace = benchmark.trace_with_len(events);
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = write_text(&trace, &mut lock) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let _ = lock.flush();
+    ExitCode::SUCCESS
+}

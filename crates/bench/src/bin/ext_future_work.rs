@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `ext` (see `ibp_sim::experiments::ext`).
+
+fn main() {
+    ibp_bench::run_experiment("ext");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig10` (see `ibp_sim::experiments::fig10`).
+
+fn main() {
+    ibp_bench::run_experiment("fig10");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig11` (see `ibp_sim::experiments::fig11`).
+
+fn main() {
+    ibp_bench::run_experiment("fig11");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig12_14_15` (see `ibp_sim::experiments::fig12_14_15`).
+
+fn main() {
+    ibp_bench::run_experiment("fig12_14_15");
+}

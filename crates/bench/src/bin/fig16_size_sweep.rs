@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig16` (see `ibp_sim::experiments::fig16`).
+
+fn main() {
+    ibp_bench::run_experiment("fig16");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig17` (see `ibp_sim::experiments::fig17`).
+
+fn main() {
+    ibp_bench::run_experiment("fig17");
+}

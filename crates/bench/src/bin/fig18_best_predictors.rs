@@ -1,0 +1,21 @@
+//! Regenerates Figure 18 and Tables 6 / A-1 / A-2: the best predictor per
+//! table size and organisation.
+//!
+//! This is the heaviest runner (it searches path lengths for ten
+//! organisations over eleven sizes). Pass `--quick` for a reduced search
+//! space, or lower `IBP_EVENTS`.
+
+use ibp_sim::experiments::fig18;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    eprintln!("== Figure 18 + Tables 6/A-1/A-2 (best predictors) ==");
+    let suite = ibp_bench::full_suite();
+    let opts = if quick {
+        fig18::quick_options()
+    } else {
+        fig18::Options::default()
+    };
+    let tables = fig18::run_with(&suite, &opts);
+    ibp_bench::emit("fig18", &tables);
+}

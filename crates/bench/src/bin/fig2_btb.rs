@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig2` (see `ibp_sim::experiments::fig2`).
+
+fn main() {
+    ibp_bench::run_experiment("fig2");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig5` (see `ibp_sim::experiments::fig5`).
+
+fn main() {
+    ibp_bench::run_experiment("fig5");
+}

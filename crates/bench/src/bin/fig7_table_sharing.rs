@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig7` (see `ibp_sim::experiments::fig7`).
+
+fn main() {
+    ibp_bench::run_experiment("fig7");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig9` (see `ibp_sim::experiments::fig9`).
+
+fn main() {
+    ibp_bench::run_experiment("fig9");
+}

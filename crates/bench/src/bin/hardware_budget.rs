@@ -1,0 +1,6 @@
+//! Regenerates the §5.2.2 equal-hardware-budget comparison (see
+//! `ibp_sim::experiments::hardware`).
+
+fn main() {
+    ibp_bench::run_experiment("hardware");
+}

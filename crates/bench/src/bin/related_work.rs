@@ -1,0 +1,6 @@
+//! Regenerates the §7 related-work comparison (see
+//! `ibp_sim::experiments::related_work`).
+
+fn main() {
+    ibp_bench::run_experiment("related_work");
+}

@@ -1,0 +1,12 @@
+//! Runs every experiment in paper order, regenerating all figures and
+//! tables into `results/`. Expect this to take a while at default trace
+//! length; `IBP_EVENTS=30000` gives a quick full pass.
+
+fn main() {
+    let suite = ibp_bench::full_suite();
+    for e in ibp_sim::experiments::all() {
+        eprintln!("== {} ({}) ==", e.title, e.id);
+        let tables = (e.run)(&suite);
+        ibp_bench::emit(e.id, &tables);
+    }
+}

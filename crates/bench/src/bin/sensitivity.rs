@@ -1,0 +1,6 @@
+//! Regenerates the trace-length sensitivity study (see
+//! `ibp_sim::experiments::sensitivity`).
+
+fn main() {
+    ibp_bench::run_experiment("sensitivity");
+}

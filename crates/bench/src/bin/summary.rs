@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `summary` (see `ibp_sim::experiments::summary`).
+
+fn main() {
+    ibp_bench::run_experiment("summary");
+}

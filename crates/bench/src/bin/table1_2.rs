@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `table1_2` (see `ibp_sim::experiments::table1_2`).
+
+fn main() {
+    ibp_bench::run_experiment("table1_2");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `table5` (see `ibp_sim::experiments::table5`).
+
+fn main() {
+    ibp_bench::run_experiment("table5");
+}

@@ -1,0 +1,70 @@
+//! Shared plumbing for the experiment binaries (`src/bin/`) and Criterion
+//! benches (`benches/`).
+//!
+//! Each binary regenerates one figure or table of the paper by calling the
+//! corresponding [`ibp_sim::experiments`] runner over the full benchmark
+//! suite, printing the result tables and writing CSVs under `results/`.
+//!
+//! Environment:
+//!
+//! * `IBP_EVENTS` — indirect branches per benchmark trace (default
+//!   120 000). The paper traced 0.03M–6M events per program; larger values
+//!   flatten the long-path warm-up penalty at the cost of run time.
+//! * `IBP_RESULTS` — output directory for CSVs (default `results`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use ibp_sim::report::Table;
+use ibp_sim::Suite;
+
+/// Builds the full 17-benchmark suite (honours `IBP_EVENTS`).
+#[must_use]
+pub fn full_suite() -> Suite {
+    eprintln!("generating 17 benchmark traces...");
+    Suite::new()
+}
+
+/// Prints the tables and writes one CSV per table under
+/// `$IBP_RESULTS/<id>/`.
+pub fn emit(id: &str, tables: &[Table]) {
+    let dir = PathBuf::from(std::env::var("IBP_RESULTS").unwrap_or_else(|_| "results".to_string()))
+        .join(id);
+    let persisted = fs::create_dir_all(&dir).is_ok();
+    for (i, t) in tables.iter().enumerate() {
+        println!("{}", t.to_text());
+        if persisted {
+            let slug: String = t
+                .title()
+                .chars()
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            let path = dir.join(format!("{i:02}_{}.csv", slug.trim_matches('_')));
+            if let Err(e) = fs::write(&path, t.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+    if persisted {
+        eprintln!("csv written to {}", dir.display());
+    }
+}
+
+/// Runs one experiment end to end: build suite, run, emit.
+pub fn run_experiment(id: &str) {
+    let experiment =
+        ibp_sim::experiments::by_id(id).unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    eprintln!("== {} ==", experiment.title);
+    let suite = full_suite();
+    let tables = (experiment.run)(&suite);
+    emit(id, &tables);
+}

@@ -1,0 +1,127 @@
+//! End-to-end tests of the command-line tools: `export_trace` piped into
+//! `simulate_trace`.
+
+use std::io::Write;
+use std::process::Command;
+
+fn export(benchmark: &str, events: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_export_trace"))
+        .args([benchmark, events])
+        .output()
+        .expect("run export_trace");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn simulate(trace_path: &str, args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_simulate_trace"))
+        .arg(trace_path)
+        .args(args)
+        .output()
+        .expect("run simulate_trace");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn temp_trace(benchmark: &str, events: &str) -> std::path::PathBuf {
+    let data = export(benchmark, events);
+    let path = std::env::temp_dir().join(format!(
+        "ibp-cli-test-{benchmark}-{events}-{}.ibpt",
+        std::process::id()
+    ));
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(&data))
+        .expect("write temp trace");
+    path
+}
+
+#[test]
+fn export_emits_valid_ibpt() {
+    let data = export("ixx", "2000");
+    let text = String::from_utf8(data).expect("utf8");
+    assert!(text.starts_with("ibpt 1"));
+    assert!(text.contains("name ixx"));
+    assert_eq!(text.lines().filter(|l| l.starts_with("i ")).count(), 2000);
+}
+
+#[test]
+fn export_rejects_unknown_benchmark() {
+    let out = Command::new(env!("CARGO_BIN_EXE_export_trace"))
+        .arg("nonesuch")
+        .output()
+        .expect("run export_trace");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn simulate_runs_practical_predictor() {
+    let path = temp_trace("ixx", "3000");
+    let (stdout, _, ok) = simulate(
+        path.to_str().unwrap(),
+        &[
+            "--predictor",
+            "practical",
+            "--path",
+            "3",
+            "--entries",
+            "1024",
+            "--ways",
+            "4",
+        ],
+    );
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("3000 indirect branches"), "{stdout}");
+    assert!(stdout.contains("misprediction:"), "{stdout}");
+}
+
+#[test]
+fn simulate_classify_and_per_site() {
+    let path = temp_trace("xlisp", "3000");
+    let (stdout, _, ok) = simulate(path.to_str().unwrap(), &["--classify", "--per-site"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("breakdown:"), "{stdout}");
+    assert!(stdout.contains("worst-predicted sites"), "{stdout}");
+}
+
+#[test]
+fn simulate_sweep_prints_all_paths() {
+    let path = temp_trace("xlisp", "2000");
+    let (stdout, _, ok) = simulate(path.to_str().unwrap(), &["--sweep"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stdout}");
+    // 13 sweep rows (p = 0..=12).
+    let rows = stdout
+        .lines()
+        .filter(|l| {
+            l.trim_start()
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+        })
+        .count();
+    assert!(rows >= 13, "{stdout}");
+}
+
+#[test]
+fn simulate_reports_usage_on_bad_args() {
+    let (_, stderr, ok) = simulate("/nonexistent.ibpt", &["--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn simulate_fails_cleanly_on_missing_file() {
+    let (_, stderr, ok) = simulate("/nonexistent.ibpt", &[]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot open"), "{stderr}");
+}

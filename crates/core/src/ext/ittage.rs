@@ -1,0 +1,347 @@
+//! A simplified ITTAGE-style predictor — the modern descendant of the
+//! paper's hybrid design.
+//!
+//! The paper's hybrid (§6) pairs two path lengths; its cascade sketch (§7)
+//! orders tagged tables longest-history-first. ITTAGE (Seznec & Michaud's
+//! indirect-target TAGE) completes that lineage: a base predictor plus
+//! several tagged tables with **geometrically growing history lengths**,
+//! prediction by the longest matching table, and *useful* counters steering
+//! allocation. This module implements a faithful-in-structure, simplified
+//! version so the `ext_future_work` experiments can compare where two
+//! decades of follow-up work landed relative to the paper's designs.
+//!
+//! Simplifications relative to production ITTAGE: per-table index/tag
+//! hashes come from one mixing function rather than folded CSRs; there is
+//! no periodic useful-counter reset tick (a decay on allocation failure
+//! plays that role); and the "alternate prediction" heuristic is a plain
+//! confidence check.
+
+use ibp_trace::Addr;
+
+use crate::btb::Btb;
+use crate::counter::SaturatingCounter;
+use crate::history::{HistoryRegister, MAX_PATH};
+use crate::predictor::{Predictor, UpdateRule};
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[derive(Debug, Clone)]
+struct TaggedEntry {
+    tag: u16,
+    target: Addr,
+    confidence: SaturatingCounter,
+    useful: SaturatingCounter,
+}
+
+#[derive(Debug, Clone)]
+struct TaggedTable {
+    history_len: usize,
+    entries: Vec<Option<TaggedEntry>>,
+}
+
+impl TaggedTable {
+    fn hash(&self, pc: Addr, history: &HistoryRegister) -> u64 {
+        let mut acc = u64::from(pc.word());
+        for i in 0..self.history_len {
+            acc = mix(acc ^ (u64::from(history.recent(i).word()) << 1));
+        }
+        acc
+    }
+
+    fn index_and_tag(&self, pc: Addr, history: &HistoryRegister) -> (usize, u16) {
+        let h = self.hash(pc, history);
+        let index = (h as usize) & (self.entries.len() - 1);
+        // Tag from independent high bits; avoid the all-zero degenerate tag
+        // check being meaningful (entries are Option anyway).
+        let tag = (h >> 40) as u16;
+        (index, tag)
+    }
+}
+
+/// A simplified indirect-target TAGE predictor.
+///
+/// # Example
+///
+/// ```
+/// use ibp_core::ext::IttageLite;
+/// use ibp_core::Predictor;
+/// use ibp_trace::Addr;
+///
+/// // 4 tagged tables of 256 entries with history lengths 2,4,8,16, plus a
+/// // 256-entry BTB base: 1280 entries total.
+/// let mut p = IttageLite::new(256, 4, 2);
+/// p.update(Addr::new(0x100), Addr::new(0x900));
+/// assert_eq!(p.predict(Addr::new(0x100)), Some(Addr::new(0x900)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IttageLite {
+    base: Btb,
+    tables: Vec<TaggedTable>,
+    history: HistoryRegister,
+    /// Deterministic allocation "randomness".
+    alloc_seed: u64,
+}
+
+impl IttageLite {
+    /// Creates a predictor with `num_tables` tagged tables of
+    /// `entries_per_table` entries each, history lengths
+    /// `min_history * 2^i`, plus an `entries_per_table` BTB base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries_per_table` is not a non-zero power of two, if
+    /// `num_tables` is zero, or if the longest history
+    /// `min_history * 2^(num_tables-1)` exceeds [`MAX_PATH`].
+    #[must_use]
+    pub fn new(entries_per_table: usize, num_tables: usize, min_history: usize) -> Self {
+        assert!(num_tables > 0, "at least one tagged table required");
+        assert!(
+            entries_per_table.is_power_of_two() && entries_per_table > 0,
+            "entries per table must be a non-zero power of two"
+        );
+        let max_history = min_history << (num_tables - 1);
+        assert!(
+            (1..=MAX_PATH).contains(&max_history),
+            "longest history {max_history} outside 1..={MAX_PATH}"
+        );
+        let tables = (0..num_tables)
+            .map(|i| TaggedTable {
+                history_len: min_history << i,
+                entries: vec![None; entries_per_table],
+            })
+            .collect();
+        IttageLite {
+            base: Btb::unconstrained(UpdateRule::TwoBitCounter),
+            tables,
+            history: HistoryRegister::new(max_history),
+            alloc_seed: 0x9E37_79B9,
+        }
+    }
+
+    /// The geometric history lengths, shortest first.
+    #[must_use]
+    pub fn history_lengths(&self) -> Vec<usize> {
+        self.tables.iter().map(|t| t.history_len).collect()
+    }
+
+    /// Total tagged entries (excluding the unbounded base BTB).
+    #[must_use]
+    pub fn tagged_entries(&self) -> usize {
+        self.tables.iter().map(|t| t.entries.len()).sum()
+    }
+
+    /// The provider: the longest-history table whose entry matches, as
+    /// `(table index, entry index)`.
+    fn provider(&self, pc: Addr) -> Option<(usize, usize)> {
+        for (ti, table) in self.tables.iter().enumerate().rev() {
+            let (index, tag) = table.index_and_tag(pc, &self.history);
+            if let Some(e) = &table.entries[index] {
+                if e.tag == tag {
+                    return Some((ti, index));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Predictor for IttageLite {
+    fn predict(&self, pc: Addr) -> Option<Addr> {
+        match self.provider(pc) {
+            Some((ti, index)) => {
+                let e = self.tables[ti].entries[index]
+                    .as_ref()
+                    .expect("provider entry");
+                // Low-confidence fresh entries defer to the base predictor
+                // (the "alternate prediction" heuristic).
+                if e.confidence.value() == 0 {
+                    self.base.predict(pc).or(Some(e.target))
+                } else {
+                    Some(e.target)
+                }
+            }
+            None => self.base.predict(pc),
+        }
+    }
+
+    fn update(&mut self, pc: Addr, actual: Addr) {
+        let predicted = self.predict(pc);
+        let correct = predicted == Some(actual);
+        let provider = self.provider(pc);
+
+        if let Some((ti, index)) = provider {
+            let (idx_tag, _) = self.tables[ti].index_and_tag(pc, &self.history);
+            debug_assert_eq!(idx_tag, index);
+            let e = self.tables[ti].entries[index]
+                .as_mut()
+                .expect("provider entry");
+            let entry_correct = e.target == actual;
+            e.confidence.record(entry_correct);
+            e.useful.record(entry_correct);
+            if !entry_correct && e.confidence.value() == 0 {
+                e.target = actual;
+            }
+        }
+
+        // Allocate into a longer table on a misprediction (TAGE's growth
+        // rule): find a not-useful slot in one of the tables above the
+        // provider; decay usefulness when none is free.
+        if !correct {
+            let start = provider.map_or(0, |(ti, _)| ti + 1);
+            self.alloc_seed = mix(self.alloc_seed ^ u64::from(pc.word()));
+            let candidates: Vec<usize> = (start..self.tables.len()).collect();
+            if !candidates.is_empty() {
+                // Deterministic pseudo-random start slot spreads allocation
+                // pressure across the longer tables.
+                let offset = (self.alloc_seed as usize) % candidates.len();
+                let mut allocated = false;
+                for step in 0..candidates.len() {
+                    let ti = candidates[(offset + step) % candidates.len()];
+                    let (index, tag) = self.tables[ti].index_and_tag(pc, &self.history);
+                    let slot = &mut self.tables[ti].entries[index];
+                    let free = match slot {
+                        None => true,
+                        Some(e) => e.useful.value() == 0,
+                    };
+                    if free {
+                        *slot = Some(TaggedEntry {
+                            tag,
+                            target: actual,
+                            confidence: SaturatingCounter::new(2),
+                            useful: SaturatingCounter::new(2),
+                        });
+                        allocated = true;
+                        break;
+                    }
+                }
+                if !allocated {
+                    // Global decay: make room for future allocations.
+                    for ti in candidates {
+                        let (index, _) = self.tables[ti].index_and_tag(pc, &self.history);
+                        if let Some(e) = &mut self.tables[ti].entries[index] {
+                            e.useful.decrement();
+                        }
+                    }
+                }
+            }
+        }
+
+        self.base.update(pc, actual);
+        self.history.push(actual);
+    }
+
+    fn reset(&mut self) {
+        self.base.reset();
+        for t in &mut self.tables {
+            t.entries.iter_mut().for_each(|e| *e = None);
+        }
+        self.history.clear();
+        self.alloc_seed = 0x9E37_79B9;
+    }
+
+    fn name(&self) -> String {
+        let lens: Vec<String> = self
+            .history_lengths()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        format!(
+            "ittage-lite {}x{} histories {}",
+            self.tables.len(),
+            self.tables.first().map_or(0, |t| t.entries.len()),
+            lens.join("/")
+        )
+    }
+
+    fn storage_entries(&self) -> Option<usize> {
+        // The base BTB is unbounded; report tagged storage only.
+        Some(self.tagged_entries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(raw: u32) -> Addr {
+        Addr::new(raw)
+    }
+
+    #[test]
+    fn geometry() {
+        let p = IttageLite::new(128, 4, 2);
+        assert_eq!(p.history_lengths(), vec![2, 4, 8, 16]);
+        assert_eq!(p.tagged_entries(), 512);
+        assert_eq!(p.storage_entries(), Some(512));
+        assert!(p.name().contains("ittage-lite"));
+    }
+
+    #[test]
+    fn monomorphic_branch_served_by_base() {
+        let mut p = IttageLite::new(64, 3, 2);
+        p.update(a(0x100), a(0x900));
+        assert_eq!(p.predict(a(0x100)), Some(a(0x900)));
+    }
+
+    #[test]
+    fn learns_alternation_via_tagged_tables() {
+        let mut p = IttageLite::new(256, 3, 2);
+        let site = a(0x100);
+        let mut misses = 0;
+        for i in 0..200u32 {
+            let t = a(0x900 + (i % 2) * 0x40);
+            if p.predict(site) != Some(t) {
+                misses += 1;
+            }
+            p.update(site, t);
+        }
+        // A BTB alone would miss ~always; tagged history tables learn it.
+        assert!(misses < 60, "misses {misses}");
+    }
+
+    #[test]
+    fn learns_longer_periods_than_short_histories() {
+        // Period-12 target sequence: needs a longer history table.
+        let mut p = IttageLite::new(512, 4, 2); // histories 2,4,8,16
+        let site = a(0x200);
+        let seq: Vec<Addr> = (0..12u32).map(|i| a(0x1000 + (i % 5) * 0x40)).collect();
+        let mut late_misses = 0;
+        for round in 0..60 {
+            for &t in &seq {
+                if p.predict(site) != Some(t) && round >= 40 {
+                    late_misses += 1;
+                }
+                p.update(site, t);
+            }
+        }
+        let total_late = 20 * seq.len() as u32;
+        assert!(
+            late_misses < total_late / 4,
+            "late misses {late_misses}/{total_late}"
+        );
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut p = IttageLite::new(64, 3, 2);
+        p.update(a(0x100), a(0x900));
+        p.reset();
+        assert_eq!(p.predict(a(0x100)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "longest history")]
+    fn oversized_history_rejected() {
+        let _ = IttageLite::new(64, 5, 2); // 2 << 4 = 32 > MAX_PATH
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_table_size_rejected() {
+        let _ = IttageLite::new(100, 3, 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! Shared-table hybrid with "chosen" counters (§8.1).
+
+use ibp_trace::Addr;
+
+use crate::counter::SaturatingCounter;
+use crate::history::{Histories, HistoryElement, HistorySharing};
+use crate::key::CompressedKeySpec;
+use crate::predictor::{Predictor, UpdateRule};
+use crate::table::{check_power_of_two, Slot};
+
+#[derive(Debug, Clone)]
+struct SharedWay {
+    tag: u64,
+    /// Which component inserted the entry (diagnostics only — any component
+    /// may later match it if keys collide).
+    owner: u8,
+    slot: Slot,
+    stamp: u64,
+    /// §8.1's "chosen" counter: how often the hybrid actually used this
+    /// entry's prediction lately. Consulted at replacement so that
+    /// seldom-used entries are recuperated first.
+    chosen: SaturatingCounter,
+}
+
+/// A hybrid predictor whose components share one physical table (§8.1).
+///
+/// "Furthermore, the different components can use one shared table. Entries
+/// can be augmented with a 'chosen' counter, which keeps track of the number
+/// of times an entry's prediction is used by the hybrid predictor. This
+/// counter is consulted when updating table entries, so that seldom used
+/// entries can be recuperated by a different component, for better use of
+/// available hardware."
+///
+/// Each component contributes a key built from its own
+/// [`CompressedKeySpec`] over a common global history; all keys probe the
+/// same set-associative array. Selection among component hits is by entry
+/// confidence (ties to the earlier component). The replacement victim
+/// within a set is the entry with the lowest `(chosen, recency)` — a cold,
+/// never-chosen entry is recuperated before a hot one regardless of age.
+#[derive(Debug, Clone)]
+pub struct SharedTableHybrid {
+    specs: Vec<CompressedKeySpec>,
+    histories: Histories,
+    ways_store: Vec<Option<SharedWay>>,
+    sets: usize,
+    ways: usize,
+    rule: UpdateRule,
+    confidence_bits: u8,
+    tick: u64,
+}
+
+impl SharedTableHybrid {
+    /// Creates a shared-table hybrid over `entries` total slots of
+    /// associativity `ways`, with one component per key spec (pass specs in
+    /// descending priority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty, or `entries`/`ways` are not non-zero
+    /// powers of two, or `ways > entries`.
+    #[must_use]
+    pub fn new(specs: Vec<CompressedKeySpec>, entries: usize, ways: usize) -> Self {
+        assert!(!specs.is_empty(), "at least one component spec required");
+        check_power_of_two(entries);
+        check_power_of_two(ways);
+        assert!(
+            ways <= entries,
+            "ways {ways} exceed total entries {entries}"
+        );
+        let max_path = specs
+            .iter()
+            .map(CompressedKeySpec::path_len)
+            .max()
+            .unwrap_or(0);
+        SharedTableHybrid {
+            specs,
+            histories: Histories::new(HistorySharing::GLOBAL, HistoryElement::Target, max_path),
+            ways_store: vec![None; entries],
+            sets: entries / ways,
+            ways,
+            rule: UpdateRule::TwoBitCounter,
+            confidence_bits: 2,
+            tick: 0,
+        }
+    }
+
+    /// Total table entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// The component key specs, in priority order.
+    #[must_use]
+    pub fn specs(&self) -> &[CompressedKeySpec] {
+        &self.specs
+    }
+
+    /// How many live entries each component currently owns (inserted),
+    /// index-aligned with [`specs`](SharedTableHybrid::specs). Diagnostic
+    /// for the §8.1 storage-sharing question.
+    #[must_use]
+    pub fn owner_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.specs.len()];
+        for w in self.ways_store.iter().flatten() {
+            counts[usize::from(w.owner)] += 1;
+        }
+        counts
+    }
+
+    fn split(&self, key: u64) -> (usize, u64) {
+        let index = (key & (self.sets as u64 - 1)) as usize;
+        (index, key >> self.sets.trailing_zeros())
+    }
+
+    fn set_range(&self, index: usize) -> std::ops::Range<usize> {
+        let base = index * self.ways;
+        base..base + self.ways
+    }
+
+    fn find(&self, key: u64) -> Option<usize> {
+        let (index, tag) = self.split(key);
+        self.set_range(index)
+            .find(|&i| matches!(&self.ways_store[i], Some(w) if w.tag == tag))
+    }
+
+    /// The component keys for a branch under the current history.
+    fn keys(&self, pc: Addr) -> Vec<u64> {
+        let register = self.histories.register(pc);
+        self.specs.iter().map(|s| s.key(pc, register)).collect()
+    }
+
+    /// The winning (component, way index) for a prediction, if any.
+    fn select(&self, pc: Addr) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize, u8)> = None;
+        for (c, key) in self.keys(pc).into_iter().enumerate() {
+            if let Some(i) = self.find(key) {
+                let conf = self.ways_store[i]
+                    .as_ref()
+                    .expect("found way")
+                    .slot
+                    .hit()
+                    .confidence;
+                let better = match best {
+                    None => true,
+                    Some((_, _, b)) => conf > b,
+                };
+                if better {
+                    best = Some((c, i, conf));
+                }
+            }
+        }
+        best.map(|(c, i, _)| (c, i))
+    }
+}
+
+impl Predictor for SharedTableHybrid {
+    fn predict(&self, pc: Addr) -> Option<Addr> {
+        self.select(pc).map(|(_, i)| {
+            self.ways_store[i]
+                .as_ref()
+                .expect("found way")
+                .slot
+                .target()
+        })
+    }
+
+    fn update(&mut self, pc: Addr, actual: Addr) {
+        self.tick += 1;
+        let tick = self.tick;
+
+        // Credit the chosen entry before training moves anything.
+        if let Some((_, i)) = self.select(pc) {
+            let w = self.ways_store[i].as_mut().expect("found way");
+            w.chosen.increment();
+        }
+
+        let keys = self.keys(pc);
+        for (c, key) in keys.into_iter().enumerate() {
+            if let Some(i) = self.find(key) {
+                let w = self.ways_store[i].as_mut().expect("found way");
+                let correct = w.slot.train(actual, self.rule);
+                w.stamp = tick;
+                if !correct {
+                    // A wrong entry slowly loses its protection.
+                    w.chosen.decrement();
+                }
+                continue;
+            }
+            // Insert: victim = invalid way, else the lowest (chosen, stamp).
+            let (index, tag) = self.split(key);
+            let mut victim = None;
+            let mut victim_rank = (u8::MAX, u64::MAX);
+            for i in self.set_range(index) {
+                match &self.ways_store[i] {
+                    None => {
+                        victim = Some(i);
+                        break;
+                    }
+                    Some(w) => {
+                        let rank = (w.chosen.value(), w.stamp);
+                        if rank < victim_rank {
+                            victim_rank = rank;
+                            victim = Some(i);
+                        }
+                    }
+                }
+            }
+            let i = victim.expect("non-empty set");
+            self.ways_store[i] = Some(SharedWay {
+                tag,
+                owner: c as u8,
+                slot: Slot::new(actual, self.confidence_bits),
+                stamp: tick,
+                chosen: SaturatingCounter::new(2),
+            });
+        }
+        self.histories.record(pc, actual);
+    }
+
+    fn reset(&mut self) {
+        self.histories.clear();
+        self.ways_store.iter_mut().for_each(|w| *w = None);
+        self.tick = 0;
+    }
+
+    fn name(&self) -> String {
+        let paths: Vec<String> = self
+            .specs
+            .iter()
+            .map(|s| s.path_len().to_string())
+            .collect();
+        format!(
+            "shared-table hybrid p={} {}-entry {}-way",
+            paths.join("."),
+            self.capacity(),
+            self.ways
+        )
+    }
+
+    fn storage_entries(&self) -> Option<usize> {
+        Some(self.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(raw: u32) -> Addr {
+        Addr::new(raw)
+    }
+
+    fn hybrid(p1: usize, p2: usize, entries: usize, ways: usize) -> SharedTableHybrid {
+        SharedTableHybrid::new(
+            vec![
+                CompressedKeySpec::practical(p1),
+                CompressedKeySpec::practical(p2),
+            ],
+            entries,
+            ways,
+        )
+    }
+
+    #[test]
+    fn learns_monomorphic_site() {
+        let mut h = hybrid(3, 0, 64, 4);
+        for _ in 0..4 {
+            h.update(a(0x100), a(0x900));
+        }
+        assert_eq!(h.predict(a(0x100)), Some(a(0x900)));
+    }
+
+    #[test]
+    fn learns_alternation_via_long_component() {
+        let mut h = hybrid(1, 0, 256, 4);
+        let site = a(0x100);
+        for _ in 0..10 {
+            h.update(site, a(0x900));
+            h.update(site, a(0xA00));
+        }
+        // Next target in sequence is 0x900; the p = 1 entry should win over
+        // the low-confidence p = 0 entry.
+        assert_eq!(h.predict(site), Some(a(0x900)));
+    }
+
+    #[test]
+    fn components_share_capacity() {
+        let h = hybrid(3, 1, 1024, 4);
+        assert_eq!(h.storage_entries(), Some(1024));
+        assert_eq!(h.capacity(), 1024);
+        assert_eq!(h.specs().len(), 2);
+    }
+
+    #[test]
+    fn chosen_counter_protects_useful_entries() {
+        // Fill a tiny 1-way table: a frequently chosen entry should survive
+        // pressure from never-chosen insertions elsewhere in its set.
+        let mut h = hybrid(0, 0, 2, 1);
+        let hot = a(0x100);
+        for _ in 0..8 {
+            h.update(hot, a(0x900));
+            let _ = h.predict(hot);
+        }
+        assert_eq!(h.predict(hot), Some(a(0x900)));
+    }
+
+    #[test]
+    fn name_and_reset() {
+        let mut h = hybrid(3, 1, 64, 2);
+        assert!(h.name().contains("p=3.1"));
+        h.update(a(0x100), a(0x900));
+        h.reset();
+        assert_eq!(h.predict(a(0x100)), None);
+    }
+
+    #[test]
+    fn owner_histogram_tracks_insertions() {
+        let mut h = hybrid(1, 0, 64, 2);
+        for i in 0..8u32 {
+            h.update(a(0x100 + i * 4), a(0x900));
+        }
+        let hist = h.owner_histogram();
+        assert_eq!(hist.len(), 2);
+        assert!(hist.iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_specs_rejected() {
+        let _ = SharedTableHybrid::new(vec![], 64, 2);
+    }
+}

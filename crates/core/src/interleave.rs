@@ -1,0 +1,268 @@
+//! Pattern-bit layout: concatenation and interleaving (§5.2.1).
+
+use crate::pattern::width_mask;
+
+/// How the per-target chunks of a history pattern are laid out in the key.
+///
+/// With limited-associativity tables the low bits of the key select the set,
+/// so the layout decides *which target bits reach the index*:
+///
+/// * [`Concat`](Interleaving::Concat) — chunks placed side by side, most
+///   recent target in the lowest bits. The index then contains only the
+///   most recent target(s), so paths differing only in older targets
+///   collide (the paper's Figure 13 pathology and the saw-tooth of
+///   Figure 12).
+/// * [`Straight`](Interleaving::Straight) — bits round-robined across
+///   targets, most recent target first, so when the index width is not a
+///   multiple of the path length the *most recent* targets contribute one
+///   extra bit.
+/// * [`Reverse`](Interleaving::Reverse) — round-robin starting from the
+///   oldest target; the *older* targets get the extra precision. The paper
+///   found this slightly best, because extra precision on old targets is
+///   exactly what long-path predictors exist for, and uses it in all final
+///   results.
+/// * [`PingPong`](Interleaving::PingPong) — alternate newest, oldest,
+///   second-newest, second-oldest, …
+///
+/// # Example
+///
+/// The paper's Figure 15 setting: path length 4, 10-bit index. With 6-bit
+/// chunks, the 10 index bits take bit 0 and bit 1 of every target plus bit 2
+/// of the two first-visited targets:
+///
+/// ```
+/// use ibp_core::Interleaving;
+///
+/// // chunks[0] = most recent target's bits.
+/// let chunks = [0b000111u32, 0, 0, 0];
+/// let pat = Interleaving::Straight.layout(&chunks, 6);
+/// // Straight order visits the newest target first, so its bits land at
+/// // positions 0, 4, 8, ...
+/// assert_eq!(pat & 1, 1);
+/// assert_eq!((pat >> 4) & 1, 1);
+/// assert_eq!((pat >> 8) & 1, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Interleaving {
+    /// Side-by-side chunks, newest target lowest.
+    Concat,
+    /// Round-robin, newest target first.
+    Straight,
+    /// Round-robin, oldest target first (the paper's choice).
+    #[default]
+    Reverse,
+    /// Round-robin alternating newest / oldest ends.
+    PingPong,
+}
+
+impl Interleaving {
+    /// All layouts, in paper order.
+    pub const ALL: [Interleaving; 4] = [
+        Interleaving::Concat,
+        Interleaving::Straight,
+        Interleaving::Reverse,
+        Interleaving::PingPong,
+    ];
+
+    /// The order in which targets are visited when dealing out bits.
+    /// `chunks` index 0 is the most recent target.
+    fn visit_order(self, p: usize) -> Vec<usize> {
+        match self {
+            Interleaving::Concat | Interleaving::Straight => (0..p).collect(),
+            Interleaving::Reverse => (0..p).rev().collect(),
+            Interleaving::PingPong => {
+                let mut order = Vec::with_capacity(p);
+                let (mut lo, mut hi) = (0usize, p.wrapping_sub(1));
+                while order.len() < p {
+                    order.push(lo);
+                    lo += 1;
+                    if order.len() < p {
+                        order.push(hi);
+                        hi = hi.saturating_sub(1);
+                    }
+                }
+                order
+            }
+        }
+    }
+
+    /// Lays out `p` chunks of `b` bits each into a `p * b`-bit pattern.
+    ///
+    /// `chunks[0]` must be the most recent target's chunk. Bits beyond `b`
+    /// in each chunk are ignored. The result occupies the low `p * b` bits.
+    #[must_use]
+    pub fn layout(self, chunks: &[u32], b: u32) -> u64 {
+        let p = chunks.len();
+        if p == 0 || b == 0 {
+            return 0;
+        }
+        let width = (p as u32) * b;
+        match self {
+            Interleaving::Concat => {
+                let mut pat: u64 = 0;
+                for (i, &c) in chunks.iter().enumerate() {
+                    pat |= (u64::from(c) & width_mask(b)) << (i as u32 * b);
+                }
+                pat
+            }
+            _ => {
+                let order = self.visit_order(p);
+                let mut pat: u64 = 0;
+                // Deal bit r of each chunk, visiting targets in `order`, to
+                // consecutive positions: position = r * p + k.
+                for r in 0..b {
+                    for (k, &j) in order.iter().enumerate() {
+                        let bit = u64::from((chunks[j] >> r) & 1);
+                        let pos = r * (p as u32) + k as u32;
+                        pat |= bit << pos;
+                    }
+                }
+                debug_assert!(pat <= width_mask(width));
+                pat
+            }
+        }
+    }
+
+    /// For an index of `index_bits` bits over a `p`-target, `b`-bit-chunk
+    /// pattern, how many bits of target `j` (0 = newest) land inside the
+    /// index. Used for tests and for reasoning about Figure 15.
+    #[must_use]
+    pub fn index_precision(self, p: usize, b: u32, index_bits: u32, j: usize) -> u32 {
+        if p == 0 || b == 0 {
+            return 0;
+        }
+        match self {
+            Interleaving::Concat => {
+                // Target j occupies bits [j*b, (j+1)*b).
+                let lo = j as u32 * b;
+                let hi = lo + b;
+                hi.min(index_bits).saturating_sub(lo)
+            }
+            _ => {
+                let order = self.visit_order(p);
+                let k = order.iter().position(|&x| x == j).expect("target index") as u32;
+                // Bit r of target j lands at position r * p + k.
+                let mut count = 0;
+                for r in 0..b {
+                    if r * (p as u32) + k < index_bits {
+                        count += 1;
+                    }
+                }
+                count
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Interleaving {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Interleaving::Concat => "concat",
+            Interleaving::Straight => "straight",
+            Interleaving::Reverse => "reverse",
+            Interleaving::PingPong => "ping-pong",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_places_newest_lowest() {
+        // p = 2, b = 4: pattern = t2 t1 (t1 = chunks[0] in low bits).
+        let pat = Interleaving::Concat.layout(&[0xA, 0xB], 4);
+        assert_eq!(pat, 0xBA);
+    }
+
+    #[test]
+    fn straight_round_robins_newest_first() {
+        // p = 2, b = 2. chunks: t1 = 0b01, t2 = 0b10.
+        // Positions: r0 -> t1 bit0 @0, t2 bit0 @1; r1 -> t1 bit1 @2, t2 bit1 @3.
+        // t1 = 01: bit0=1 -> pos0. t2 = 10: bit1=1 -> pos3.
+        let pat = Interleaving::Straight.layout(&[0b01, 0b10], 2);
+        assert_eq!(pat, 0b1001);
+    }
+
+    #[test]
+    fn reverse_round_robins_oldest_first() {
+        // Same chunks, order t2 then t1: r0 -> t2 bit0 @0, t1 bit0 @1;
+        // r1 -> t2 bit1 @2, t1 bit1 @3. t1=01: pos1. t2=10: pos2.
+        let pat = Interleaving::Reverse.layout(&[0b01, 0b10], 2);
+        assert_eq!(pat, 0b0110);
+    }
+
+    #[test]
+    fn ping_pong_order() {
+        assert_eq!(Interleaving::PingPong.visit_order(4), vec![0, 3, 1, 2]);
+        assert_eq!(Interleaving::PingPong.visit_order(5), vec![0, 4, 1, 3, 2]);
+        assert_eq!(Interleaving::PingPong.visit_order(1), vec![0]);
+    }
+
+    #[test]
+    fn figure15_index_precision() {
+        // Paper's Figure 15: p = 4, 10-bit index, 6-bit chunks: two targets
+        // get 3 bits in the index, two get 2.
+        let b = 6;
+        let idx = 10;
+        // Straight: targets 1 and 2 (j = 0, 1) are more precise.
+        let s: Vec<u32> = (0..4)
+            .map(|j| Interleaving::Straight.index_precision(4, b, idx, j))
+            .collect();
+        assert_eq!(s, vec![3, 3, 2, 2]);
+        // Reverse: targets 3 and 4 (j = 2, 3) are more precise.
+        let r: Vec<u32> = (0..4)
+            .map(|j| Interleaving::Reverse.index_precision(4, b, idx, j))
+            .collect();
+        assert_eq!(r, vec![2, 2, 3, 3]);
+        // Ping-pong: targets 1 and 4 (j = 0, 3).
+        let p: Vec<u32> = (0..4)
+            .map(|j| Interleaving::PingPong.index_precision(4, b, idx, j))
+            .collect();
+        assert_eq!(p, vec![3, 2, 2, 3]);
+        // Concat: index contains only the newest targets.
+        let c: Vec<u32> = (0..4)
+            .map(|j| Interleaving::Concat.index_precision(4, b, idx, j))
+            .collect();
+        assert_eq!(c, vec![6, 4, 0, 0]);
+    }
+
+    #[test]
+    fn layouts_are_permutations_of_bits() {
+        // Total popcount preserved for every scheme.
+        let chunks = [0b1011u32, 0b0110, 0b0001];
+        let b = 4;
+        let total: u32 = chunks.iter().map(|c| c.count_ones()).sum();
+        for scheme in Interleaving::ALL {
+            let pat = scheme.layout(&chunks, b);
+            assert_eq!(pat.count_ones(), total, "{scheme}");
+            assert!(pat < (1 << 12));
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_width() {
+        for scheme in Interleaving::ALL {
+            assert_eq!(scheme.layout(&[], 4), 0);
+            assert_eq!(scheme.layout(&[0xF], 0), 0);
+            assert_eq!(scheme.index_precision(0, 4, 8, 0), 0);
+        }
+    }
+
+    #[test]
+    fn chunks_masked_to_b_bits() {
+        // Bits above b in a chunk must not leak into the pattern.
+        let pat = Interleaving::Concat.layout(&[0xFF, 0x0], 4);
+        assert_eq!(pat, 0x0F);
+        let pat = Interleaving::Reverse.layout(&[0xFF, 0x0], 4);
+        assert_eq!(pat.count_ones(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Interleaving::Reverse.to_string(), "reverse");
+        assert_eq!(Interleaving::default(), Interleaving::Reverse);
+    }
+}

@@ -1,0 +1,198 @@
+//! BPST metaprediction (§6.1 alternative).
+
+use std::collections::HashMap;
+
+use ibp_trace::Addr;
+
+use crate::counter::SaturatingCounter;
+use crate::predictor::Predictor;
+use crate::two_level::TwoLevelPredictor;
+
+/// A hybrid predictor arbitrated by a branch predictor selection table
+/// (BPST, McFarling-style) instead of per-entry confidence counters.
+///
+/// A two-bit counter per *branch* tracks which of the two components has
+/// been more accurate for that branch lately; the counter's high half
+/// selects the second component. The paper argues its per-*pattern*
+/// confidence scheme is finer grained than this per-branch scheme; the
+/// `ablation_metapredictor` runner compares the two.
+///
+/// The selection table here is unbounded (one counter per branch site seen),
+/// which favours the BPST slightly — sites are few, so a real table of a
+/// few hundred counters would behave identically.
+#[derive(Debug, Clone)]
+pub struct BpstMetaPredictor {
+    first: TwoLevelPredictor,
+    second: TwoLevelPredictor,
+    selectors: HashMap<u32, SaturatingCounter>,
+    selector_bits: u8,
+}
+
+impl BpstMetaPredictor {
+    /// Combines two components under a 2-bit-per-branch selection table.
+    /// Counters start low, i.e. preferring `first`.
+    #[must_use]
+    pub fn new(first: TwoLevelPredictor, second: TwoLevelPredictor) -> Self {
+        BpstMetaPredictor::with_selector_bits(first, second, 2)
+    }
+
+    /// Like [`new`](BpstMetaPredictor::new) with an explicit selector
+    /// counter width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selector_bits` is outside `1..=7`.
+    #[must_use]
+    pub fn with_selector_bits(
+        first: TwoLevelPredictor,
+        second: TwoLevelPredictor,
+        selector_bits: u8,
+    ) -> Self {
+        assert!((1..=7).contains(&selector_bits));
+        BpstMetaPredictor {
+            first,
+            second,
+            selectors: HashMap::new(),
+            selector_bits,
+        }
+    }
+
+    fn prefers_second(&self, pc: Addr) -> bool {
+        self.selectors.get(&pc.word()).is_some_and(|c| c.is_high())
+    }
+}
+
+impl Predictor for BpstMetaPredictor {
+    fn predict(&self, pc: Addr) -> Option<Addr> {
+        let (chosen, other) = if self.prefers_second(pc) {
+            (&self.second, &self.first)
+        } else {
+            (&self.first, &self.second)
+        };
+        // Fall back to the other component when the chosen one misses.
+        chosen.predict(pc).or_else(|| other.predict(pc))
+    }
+
+    fn update(&mut self, pc: Addr, actual: Addr) {
+        let first_correct = self.first.predict(pc) == Some(actual);
+        let second_correct = self.second.predict(pc) == Some(actual);
+        // Move the selector toward the component that was (exclusively)
+        // correct, as in McFarling's combining scheme.
+        if first_correct != second_correct {
+            let bits = self.selector_bits;
+            let c = self
+                .selectors
+                .entry(pc.word())
+                .or_insert_with(|| SaturatingCounter::new(bits));
+            if second_correct {
+                c.increment();
+            } else {
+                c.decrement();
+            }
+        }
+        self.first.update(pc, actual);
+        self.second.update(pc, actual);
+    }
+
+    fn observe_cond(&mut self, pc: Addr, target: Addr) {
+        self.first.observe_cond(pc, target);
+        self.second.observe_cond(pc, target);
+    }
+
+    fn reset(&mut self) {
+        self.first.reset();
+        self.second.reset();
+        self.selectors.clear();
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "bpst p={}.{} [{} | {}]",
+            self.first.path_len(),
+            self.second.path_len(),
+            self.first.name(),
+            self.second.name()
+        )
+    }
+
+    fn storage_entries(&self) -> Option<usize> {
+        match (self.first.storage_entries(), self.second.storage_entries()) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistorySharing;
+
+    fn a(raw: u32) -> Addr {
+        Addr::new(raw)
+    }
+
+    fn pair(p1: usize, p2: usize) -> BpstMetaPredictor {
+        BpstMetaPredictor::new(
+            TwoLevelPredictor::unconstrained(p1, HistorySharing::GLOBAL),
+            TwoLevelPredictor::unconstrained(p2, HistorySharing::GLOBAL),
+        )
+    }
+
+    #[test]
+    fn falls_back_when_chosen_misses() {
+        let mut m = pair(2, 0);
+        m.update(a(0x100), a(0x900));
+        // Selector prefers first (p = 2) which misses on the shifted
+        // history; the p = 0 component answers.
+        assert_eq!(m.predict(a(0x100)), Some(a(0x900)));
+    }
+
+    #[test]
+    fn selector_learns_better_component() {
+        // Alternating targets: p = 1 (second component) predicts them,
+        // p = 0 cannot.
+        let mut m = pair(0, 1);
+        let site = a(0x100);
+        for _ in 0..12 {
+            m.update(site, a(0x900));
+            m.update(site, a(0xA00));
+        }
+        assert!(m.prefers_second(site));
+        assert_eq!(m.predict(site), Some(a(0x900)));
+    }
+
+    #[test]
+    fn selectors_are_per_branch() {
+        let mut m = pair(0, 1);
+        // Branch A rewards the second component...
+        for _ in 0..12 {
+            m.update(a(0x100), a(0x900));
+            m.update(a(0x100), a(0xA00));
+        }
+        // ...branch B is monomorphic (either component fine; selector stays
+        // at its initial preference for the first).
+        m.update(a(0x200), a(0xC00));
+        m.update(a(0x200), a(0xC00));
+        assert!(m.prefers_second(a(0x100)));
+        assert!(!m.prefers_second(a(0x200)));
+    }
+
+    #[test]
+    fn reset_clears_selectors() {
+        let mut m = pair(0, 1);
+        for _ in 0..12 {
+            m.update(a(0x100), a(0x900));
+            m.update(a(0x100), a(0xA00));
+        }
+        m.reset();
+        assert!(!m.prefers_second(a(0x100)));
+        assert_eq!(m.predict(a(0x100)), None);
+    }
+
+    #[test]
+    fn name_mentions_both_paths() {
+        let m = pair(3, 1);
+        assert!(m.name().starts_with("bpst p=3.1"));
+    }
+}

@@ -1,0 +1,195 @@
+//! History-pattern compression (§4.1).
+
+use ibp_trace::Addr;
+
+/// Reduces a full 32-bit target address to a `b`-bit partial address.
+///
+/// The paper compares three compression schemes and selects plain bit
+/// selection (low-order bits starting at bit 2) as both the cheapest and the
+/// best performing:
+///
+/// * [`BitSelect`](PatternCompressor::BitSelect) — take bits
+///   `[a .. a+b-1]` of the target. The paper's sweep over `a = 2..=10`
+///   found `a = 2` (the lowest bits above the alignment bits) best.
+/// * [`XorFold`](PatternCompressor::XorFold) — divide the target into
+///   `b`-bit chunks and xor them together.
+/// * [`ShiftXor`](PatternCompressor::ShiftXor) — maintain the pattern as a
+///   running register: shift left `b` bits and xor in the complete new
+///   target. This one does not produce independent per-target chunks, so it
+///   composes with neither interleaving nor per-chunk layout; it is applied
+///   over the whole history in the key builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternCompressor {
+    /// Select bits `[a .. a+b-1]` of the target address.
+    BitSelect {
+        /// Lowest selected bit. The paper uses `a = 2` (word alignment).
+        a: u32,
+    },
+    /// Xor-fold the entire (word) address into `b` bits.
+    XorFold,
+    /// Shift the pattern left by `b` and xor with the full address.
+    ShiftXor,
+}
+
+impl Default for PatternCompressor {
+    fn default() -> Self {
+        PatternCompressor::BitSelect { a: 2 }
+    }
+}
+
+impl PatternCompressor {
+    /// Whether this compressor yields independent per-target chunks that can
+    /// be interleaved (§5.2.1). [`ShiftXor`](PatternCompressor::ShiftXor)
+    /// does not.
+    #[must_use]
+    pub fn is_chunked(self) -> bool {
+        !matches!(self, PatternCompressor::ShiftXor)
+    }
+
+    /// Compresses one target address into a `b`-bit chunk.
+    ///
+    /// For [`ShiftXor`](PatternCompressor::ShiftXor) this returns the low
+    /// `b` bits of the word address — callers should instead use
+    /// [`fold_history`](PatternCompressor::fold_history).
+    ///
+    /// `b == 0` yields `0`; `b` is clamped to 32.
+    #[must_use]
+    pub fn chunk(self, target: Addr, b: u32) -> u32 {
+        if b == 0 {
+            return 0;
+        }
+        let b = b.min(32);
+        match self {
+            PatternCompressor::BitSelect { a } => target.bits(a, b),
+            PatternCompressor::XorFold => xor_fold(target.word(), b),
+            PatternCompressor::ShiftXor => target.bits(2, b),
+        }
+    }
+
+    /// Folds an entire history (oldest to newest) into a `width`-bit pattern
+    /// using the running shift-xor rule, `b` bits of shift per element.
+    ///
+    /// For chunked compressors this is not used; see
+    /// [`chunk`](PatternCompressor::chunk).
+    #[must_use]
+    pub fn fold_history(self, elements_oldest_first: &[Addr], b: u32, width: u32) -> u64 {
+        let mask = width_mask(width);
+        let mut pat: u64 = 0;
+        for t in elements_oldest_first {
+            pat = ((pat << b) ^ u64::from(t.word())) & mask;
+        }
+        pat
+    }
+}
+
+/// Xors together the `b`-bit chunks of a 30-bit word address.
+fn xor_fold(word: u32, b: u32) -> u32 {
+    if b >= 32 {
+        return word;
+    }
+    let mask = (1u32 << b) - 1;
+    let mut acc = 0u32;
+    let mut rest = word;
+    while rest != 0 {
+        acc ^= rest & mask;
+        rest >>= b;
+    }
+    acc
+}
+
+/// A mask of the low `width` bits (width ≥ 64 yields all ones).
+#[must_use]
+pub(crate) fn width_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else if width == 0 {
+        0
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(raw: u32) -> Addr {
+        Addr::new(raw)
+    }
+
+    #[test]
+    fn bit_select_takes_low_bits_above_alignment() {
+        let c = PatternCompressor::BitSelect { a: 2 };
+        // 0b1101_0100: bits 2.. = 0b110101.
+        assert_eq!(c.chunk(a(0b1101_0100), 3), 0b101);
+        assert_eq!(c.chunk(a(0b1101_0100), 6), 0b110101);
+    }
+
+    #[test]
+    fn bit_select_other_anchor() {
+        let c = PatternCompressor::BitSelect { a: 4 };
+        assert_eq!(c.chunk(a(0b1101_0000), 2), 0b01);
+    }
+
+    #[test]
+    fn zero_bits_chunk_is_zero() {
+        for c in [
+            PatternCompressor::default(),
+            PatternCompressor::XorFold,
+            PatternCompressor::ShiftXor,
+        ] {
+            assert_eq!(c.chunk(a(0xFFFF_FF00), 0), 0);
+        }
+    }
+
+    #[test]
+    fn xor_fold_folds_all_bits() {
+        // word = 0b1010_1100 ; b = 4: chunks 0b1100, 0b1010 -> 0b0110.
+        let target = Addr::from_word(0b1010_1100);
+        assert_eq!(PatternCompressor::XorFold.chunk(target, 4), 0b0110);
+    }
+
+    #[test]
+    fn xor_fold_differs_from_bit_select_when_high_bits_set() {
+        let t = Addr::from_word(0b1_0000_0011);
+        let bs = PatternCompressor::default().chunk(t, 4);
+        let xf = PatternCompressor::XorFold.chunk(t, 4);
+        assert_eq!(bs, 0b0011);
+        assert_ne!(bs, xf);
+    }
+
+    #[test]
+    fn shift_xor_folds_history() {
+        let c = PatternCompressor::ShiftXor;
+        let hist = [Addr::from_word(0b01), Addr::from_word(0b10)];
+        // oldest 0b01: pat = 0b01 ; then (0b01<<2)^0b10 = 0b0110.
+        assert_eq!(c.fold_history(&hist, 2, 8), 0b0110);
+    }
+
+    #[test]
+    fn shift_xor_masks_to_width() {
+        let c = PatternCompressor::ShiftXor;
+        let hist = [Addr::from_word(0xFFFF), Addr::from_word(0xFFFF)];
+        let pat = c.fold_history(&hist, 8, 12);
+        assert!(pat <= 0xFFF);
+    }
+
+    #[test]
+    fn width_mask_edges() {
+        assert_eq!(width_mask(0), 0);
+        assert_eq!(width_mask(1), 1);
+        assert_eq!(width_mask(24), 0xFF_FFFF);
+        assert_eq!(width_mask(64), u64::MAX);
+        assert_eq!(width_mask(80), u64::MAX);
+    }
+
+    #[test]
+    fn default_is_bit_select_at_two() {
+        assert_eq!(
+            PatternCompressor::default(),
+            PatternCompressor::BitSelect { a: 2 }
+        );
+        assert!(PatternCompressor::default().is_chunked());
+        assert!(!PatternCompressor::ShiftXor.is_chunked());
+    }
+}

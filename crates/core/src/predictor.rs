@@ -1,0 +1,87 @@
+//! The predictor interface.
+
+use ibp_trace::Addr;
+
+/// When a history-table entry's target address is overwritten (§3.1/§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum UpdateRule {
+    /// Replace the stored target after every misprediction.
+    Always,
+    /// Replace only after two *consecutive* mispredictions — the paper's
+    /// "two-bit counter" rule (one hysteresis bit suffices for indirect
+    /// branches). The paper found this better "in virtually all cases" and
+    /// uses it throughout.
+    #[default]
+    TwoBitCounter,
+}
+
+impl std::fmt::Display for UpdateRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UpdateRule::Always => "always-update",
+            UpdateRule::TwoBitCounter => "2bc",
+        })
+    }
+}
+
+/// An indirect-branch predictor.
+///
+/// The simulation protocol per indirect branch is: call
+/// [`predict`](Predictor::predict) with the branch address, score it against
+/// the actual target, then call [`update`](Predictor::update) with the
+/// actual target (which trains tables *and* shifts histories). Conditional
+/// branches, when a variant cares about them (§3.3), are fed through
+/// [`observe_cond`](Predictor::observe_cond).
+///
+/// The trait is object-safe and requires `Send` (every predictor is plain
+/// owned data), so boxed predictors can move across the simulation worker
+/// threads; heterogeneous predictor sets (as in the experiment sweeps) are
+/// handled as `Box<dyn Predictor>`.
+pub trait Predictor: Send {
+    /// Predicts the target of the indirect branch at `pc`, or `None` when
+    /// the predictor has no prediction (a BTB/table miss). A `None` counts
+    /// as a misprediction when scored.
+    fn predict(&self, pc: Addr) -> Option<Addr>;
+
+    /// Trains the predictor with the resolved target of the branch at `pc`.
+    fn update(&mut self, pc: Addr, actual: Addr);
+
+    /// Observes a conditional-branch execution. The default implementation
+    /// ignores it; the §3.3 variation predictors shift the conditional
+    /// target into their history.
+    fn observe_cond(&mut self, pc: Addr, target: Addr) {
+        let _ = (pc, target);
+    }
+
+    /// Clears all dynamic state (tables and histories) back to cold.
+    fn reset(&mut self);
+
+    /// A short human-readable description, used in reports.
+    fn name(&self) -> String;
+
+    /// Total second-level table entries, or `None` for unbounded
+    /// predictors. Hybrids report the sum over components.
+    fn storage_entries(&self) -> Option<usize> {
+        None
+    }
+
+    /// Estimated hardware storage in bits, or `None` for unbounded
+    /// predictors — the paper's §5.2.2 cost argument: tagged organisations
+    /// pay tag bits per entry, tagless ones only store targets and
+    /// counters. Hybrids report the sum over components.
+    fn storage_bits(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rule_is_two_bit_counter() {
+        assert_eq!(UpdateRule::default(), UpdateRule::TwoBitCounter);
+        assert_eq!(UpdateRule::TwoBitCounter.to_string(), "2bc");
+        assert_eq!(UpdateRule::Always.to_string(), "always-update");
+    }
+}

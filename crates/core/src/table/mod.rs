@@ -1,0 +1,41 @@
+//! Second-level table organisations (§3, §5).
+//!
+//! The paper evaluates its predictors over a ladder of increasingly
+//! realistic table organisations; every rung is implemented here:
+//!
+//! | Type | Constraint | Paper section |
+//! |---|---|---|
+//! | [`UnboundedTable`] | none (idealised) | §3 |
+//! | [`FullyAssocTable`] | bounded entries, LRU | §5.1 |
+//! | [`SetAssocTable`] | bounded entries, 1/2/4-way, tags | §5.2 |
+//! | [`TaglessTable`] | bounded entries, direct-mapped, no tags | §5.2 |
+//!
+//! All bounded tables store [`Slot`]s carrying the predicted target, the
+//! paper's "two-bit counter" hysteresis bit, and an n-bit confidence counter
+//! for hybrid metaprediction (§6.1).
+
+mod full_assoc;
+mod lru;
+mod set_assoc;
+mod slot;
+mod tagless;
+mod unbounded;
+
+pub use full_assoc::FullyAssocTable;
+pub use lru::LruMap;
+pub use set_assoc::SetAssocTable;
+pub use slot::{Slot, TableHit};
+pub use tagless::TaglessTable;
+pub use unbounded::UnboundedTable;
+
+/// Checks that a table size is a usable power of two.
+///
+/// # Panics
+///
+/// Panics if `entries` is zero or not a power of two.
+pub(crate) fn check_power_of_two(entries: usize) {
+    assert!(
+        entries > 0 && entries.is_power_of_two(),
+        "table size {entries} must be a non-zero power of two"
+    );
+}

@@ -1,0 +1,170 @@
+//! Table entries.
+
+use ibp_trace::Addr;
+
+use crate::counter::SaturatingCounter;
+use crate::predictor::UpdateRule;
+
+/// A successful table lookup: the stored target plus the entry's current
+/// confidence, used by hybrid metaprediction (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableHit {
+    /// The predicted target address.
+    pub target: Addr,
+    /// Value of the entry's confidence counter.
+    pub confidence: u8,
+}
+
+/// One history-table entry: a target address, the paper's hysteresis bit
+/// ("update only after two consecutive misses"), and an n-bit confidence
+/// counter tracking the entry's recent success rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    target: Addr,
+    /// Set when the entry mispredicted the last time it was consulted.
+    miss_bit: bool,
+    confidence: SaturatingCounter,
+}
+
+impl Slot {
+    /// Creates a fresh entry for a newly seen pattern. The paper resets
+    /// confidence to zero on replacement, so fresh entries start at zero.
+    #[must_use]
+    pub fn new(target: Addr, confidence_bits: u8) -> Self {
+        Slot {
+            target,
+            miss_bit: false,
+            confidence: SaturatingCounter::new(confidence_bits),
+        }
+    }
+
+    /// The stored target.
+    #[must_use]
+    pub fn target(&self) -> Addr {
+        self.target
+    }
+
+    /// The entry viewed as a lookup result.
+    #[must_use]
+    pub fn hit(&self) -> TableHit {
+        TableHit {
+            target: self.target,
+            confidence: self.confidence.value(),
+        }
+    }
+
+    /// Whether the entry mispredicted the last time it was consulted.
+    #[must_use]
+    pub fn miss_bit(&self) -> bool {
+        self.miss_bit
+    }
+
+    /// Trains the entry with a resolved target. Returns `true` when the
+    /// entry predicted correctly.
+    ///
+    /// The confidence counter records the outcome; the target is replaced
+    /// according to `rule` — immediately under
+    /// [`UpdateRule::Always`], after two consecutive misses under
+    /// [`UpdateRule::TwoBitCounter`].
+    pub fn train(&mut self, actual: Addr, rule: UpdateRule) -> bool {
+        let correct = self.target == actual;
+        self.confidence.record(correct);
+        if correct {
+            self.miss_bit = false;
+        } else {
+            match rule {
+                UpdateRule::Always => {
+                    self.target = actual;
+                    self.miss_bit = false;
+                }
+                UpdateRule::TwoBitCounter => {
+                    if self.miss_bit {
+                        self.target = actual;
+                        self.miss_bit = false;
+                    } else {
+                        self.miss_bit = true;
+                    }
+                }
+            }
+        }
+        correct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(raw: u32) -> Addr {
+        Addr::new(raw)
+    }
+
+    #[test]
+    fn always_update_replaces_immediately() {
+        let mut s = Slot::new(a(0x100), 2);
+        assert!(!s.train(a(0x200), UpdateRule::Always));
+        assert_eq!(s.target(), a(0x200));
+    }
+
+    #[test]
+    fn two_bit_counter_needs_two_consecutive_misses() {
+        let mut s = Slot::new(a(0x100), 2);
+        // First miss: keep target, set miss bit.
+        assert!(!s.train(a(0x200), UpdateRule::TwoBitCounter));
+        assert_eq!(s.target(), a(0x100));
+        assert!(s.miss_bit());
+        // Second consecutive miss: replace.
+        assert!(!s.train(a(0x200), UpdateRule::TwoBitCounter));
+        assert_eq!(s.target(), a(0x200));
+        assert!(!s.miss_bit());
+    }
+
+    #[test]
+    fn correct_prediction_clears_miss_bit() {
+        let mut s = Slot::new(a(0x100), 2);
+        s.train(a(0x200), UpdateRule::TwoBitCounter); // miss, bit set
+        assert!(s.train(a(0x100), UpdateRule::TwoBitCounter)); // hit
+        assert!(!s.miss_bit());
+        // A lone later miss still does not replace.
+        s.train(a(0x300), UpdateRule::TwoBitCounter);
+        assert_eq!(s.target(), a(0x100));
+    }
+
+    #[test]
+    fn confidence_tracks_outcomes() {
+        let mut s = Slot::new(a(0x100), 2);
+        assert_eq!(s.hit().confidence, 0);
+        s.train(a(0x100), UpdateRule::TwoBitCounter);
+        s.train(a(0x100), UpdateRule::TwoBitCounter);
+        assert_eq!(s.hit().confidence, 2);
+        s.train(a(0x200), UpdateRule::TwoBitCounter);
+        assert_eq!(s.hit().confidence, 1);
+    }
+
+    #[test]
+    fn confidence_survives_target_replacement() {
+        // The counter belongs to the entry, not the stored target: a 2bc
+        // replacement decrements but does not reset it.
+        let mut s = Slot::new(a(0x100), 2);
+        s.train(a(0x100), UpdateRule::TwoBitCounter);
+        s.train(a(0x100), UpdateRule::TwoBitCounter);
+        s.train(a(0x100), UpdateRule::TwoBitCounter);
+        assert_eq!(s.hit().confidence, 3);
+        s.train(a(0x200), UpdateRule::TwoBitCounter);
+        s.train(a(0x200), UpdateRule::TwoBitCounter);
+        assert_eq!(s.target(), a(0x200));
+        assert_eq!(s.hit().confidence, 1);
+    }
+
+    #[test]
+    fn hit_reports_target_and_confidence() {
+        let s = Slot::new(a(0x140), 3);
+        assert_eq!(
+            s.hit(),
+            TableHit {
+                target: a(0x140),
+                confidence: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Tagless (direct-mapped, no-tag) history tables (§5.2).
+
+use ibp_trace::Addr;
+
+use crate::predictor::UpdateRule;
+use crate::table::{check_power_of_two, Slot, TableHit};
+
+/// A direct-mapped table without tags.
+///
+/// "Where a one-way associative table will register a miss if the search
+/// pattern is not in the table, a tagless table will simply return the
+/// target corresponding to the index part of the pattern" (§5.2). Because
+/// many patterns map to few targets, this *positive interference* lets a
+/// tagless table beat tagged associative tables at long path lengths, while
+/// requiring no tag storage or compare logic.
+#[derive(Debug, Clone)]
+pub struct TaglessTable {
+    entries: Vec<Option<Slot>>,
+    confidence_bits: u8,
+    occupied: usize,
+}
+
+impl TaglessTable {
+    /// Creates a table with the given number of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two, or if
+    /// `confidence_bits` is outside `1..=7`.
+    #[must_use]
+    pub fn new(entries: usize, confidence_bits: u8) -> Self {
+        check_power_of_two(entries);
+        assert!((1..=7).contains(&confidence_bits));
+        TaglessTable {
+            entries: vec![None; entries],
+            confidence_bits,
+            occupied: 0,
+        }
+    }
+
+    fn index(&self, key: u64) -> usize {
+        (key & (self.entries.len() as u64 - 1)) as usize
+    }
+
+    /// Looks up a key: returns whatever target is stored at the index —
+    /// there is no tag to reject an aliasing pattern. `None` only for
+    /// never-written entries.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<TableHit> {
+        self.entries[self.index(key)].as_ref().map(Slot::hit)
+    }
+
+    /// Trains the entry at the key's index. Aliasing patterns train the
+    /// same entry (negative *and* positive interference).
+    pub fn update(&mut self, key: u64, actual: Addr, rule: UpdateRule) {
+        let i = self.index(key);
+        match &mut self.entries[i] {
+            Some(slot) => {
+                slot.train(actual, rule);
+            }
+            e @ None => {
+                *e = Some(Slot::new(actual, self.confidence_bits));
+                self.occupied += 1;
+            }
+        }
+    }
+
+    /// Total capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Entries written at least once.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether no entry has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+        self.occupied = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(raw: u32) -> Addr {
+        Addr::new(raw)
+    }
+
+    const R: UpdateRule = UpdateRule::TwoBitCounter;
+
+    #[test]
+    fn returns_aliased_entry() {
+        let mut t = TaglessTable::new(4, 2);
+        t.update(0, a(0x100), R);
+        // Key 4 aliases to index 0: a tagged table would miss; the tagless
+        // table returns the stored target.
+        assert_eq!(t.lookup(4).unwrap().target, a(0x100));
+    }
+
+    #[test]
+    fn aliasing_update_trains_same_slot() {
+        let mut t = TaglessTable::new(4, 2);
+        t.update(0, a(0x100), R);
+        // Aliasing pattern disagrees twice: 2bc rule replaces on the second.
+        t.update(4, a(0x200), R);
+        assert_eq!(t.lookup(0).unwrap().target, a(0x100));
+        t.update(4, a(0x200), R);
+        assert_eq!(t.lookup(0).unwrap().target, a(0x200));
+    }
+
+    #[test]
+    fn cold_entries_miss() {
+        let t = TaglessTable::new(4, 2);
+        assert_eq!(t.lookup(1), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn occupancy_counts_written_slots() {
+        let mut t = TaglessTable::new(4, 2);
+        t.update(0, a(0x100), R);
+        t.update(1, a(0x100), R);
+        t.update(4, a(0x100), R); // aliases slot 0
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.capacity(), 4);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = TaglessTable::new(4, 2);
+        t.update(0, a(0x100), R);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = TaglessTable::new(6, 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! The idealised, unconstrained history table (§3).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use ibp_trace::Addr;
+
+use crate::predictor::UpdateRule;
+use crate::table::{Slot, TableHit};
+
+/// An unlimited fully-associative table: every key has its own entry and
+/// nothing is ever evicted.
+///
+/// This models the paper's §3 setting ("unconstrained, fully associative
+/// tables and full 32-bit addresses") in which the intrinsic predictability
+/// of indirect branches is measured before hardware constraints are
+/// introduced. Generic over the key so it serves both full-precision keys
+/// ([`FullKey`](crate::key::FullKey)) and compressed `u64` keys.
+#[derive(Debug, Clone)]
+pub struct UnboundedTable<K> {
+    map: HashMap<K, Slot>,
+    confidence_bits: u8,
+}
+
+impl<K: Hash + Eq> UnboundedTable<K> {
+    /// Creates an empty table whose entries carry confidence counters of
+    /// the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence_bits` is outside `1..=7`.
+    #[must_use]
+    pub fn new(confidence_bits: u8) -> Self {
+        assert!((1..=7).contains(&confidence_bits));
+        UnboundedTable {
+            map: HashMap::new(),
+            confidence_bits,
+        }
+    }
+
+    /// Looks up a key.
+    #[must_use]
+    pub fn lookup(&self, key: &K) -> Option<TableHit> {
+        self.map.get(key).map(Slot::hit)
+    }
+
+    /// Trains the entry for `key` with the resolved target, inserting a
+    /// fresh entry on first encounter.
+    pub fn update(&mut self, key: K, actual: Addr, rule: UpdateRule) {
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().train(actual, rule);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Slot::new(actual, self.confidence_bits));
+            }
+        }
+    }
+
+    /// Number of distinct patterns stored so far. This is the quantity the
+    /// paper reports when discussing pattern-set growth with path length
+    /// (§5.1, e.g. *ixx*'s 203 → 9403 patterns from `p = 0` to `p = 12`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no patterns have been stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(raw: u32) -> Addr {
+        Addr::new(raw)
+    }
+
+    #[test]
+    fn miss_then_learn() {
+        let mut t: UnboundedTable<u64> = UnboundedTable::new(2);
+        assert_eq!(t.lookup(&1), None);
+        t.update(1, a(0x100), UpdateRule::TwoBitCounter);
+        assert_eq!(t.lookup(&1).unwrap().target, a(0x100));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_entries() {
+        let mut t: UnboundedTable<u64> = UnboundedTable::new(2);
+        t.update(1, a(0x100), UpdateRule::TwoBitCounter);
+        t.update(2, a(0x200), UpdateRule::TwoBitCounter);
+        assert_eq!(t.lookup(&1).unwrap().target, a(0x100));
+        assert_eq!(t.lookup(&2).unwrap().target, a(0x200));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn two_bit_counter_rule_applies() {
+        let mut t: UnboundedTable<u64> = UnboundedTable::new(2);
+        t.update(1, a(0x100), UpdateRule::TwoBitCounter);
+        t.update(1, a(0x200), UpdateRule::TwoBitCounter);
+        // One miss: target retained.
+        assert_eq!(t.lookup(&1).unwrap().target, a(0x100));
+        t.update(1, a(0x200), UpdateRule::TwoBitCounter);
+        assert_eq!(t.lookup(&1).unwrap().target, a(0x200));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t: UnboundedTable<u64> = UnboundedTable::new(2);
+        t.update(1, a(0x100), UpdateRule::Always);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(&1), None);
+    }
+}

@@ -1,0 +1,664 @@
+//! The two-level indirect branch predictor (§3–§5).
+
+use ibp_trace::Addr;
+
+use crate::history::{Histories, HistoryElement, HistorySharing};
+use crate::key::{CompressedKeySpec, FullKey, TableSharing};
+use crate::predictor::{Predictor, UpdateRule};
+use crate::table::{FullyAssocTable, SetAssocTable, TableHit, TaglessTable, UnboundedTable};
+
+/// Second-level storage for a compressed-key predictor.
+#[derive(Debug, Clone)]
+pub(crate) enum Backend {
+    /// No size limit (§4: isolates precision loss from capacity loss).
+    Unbounded(UnboundedTable<u64>),
+    /// Bounded, fully associative, LRU (§5.1: adds capacity misses).
+    FullAssoc(FullyAssocTable),
+    /// Bounded, limited associativity (§5.2: adds conflict misses).
+    SetAssoc(SetAssocTable),
+    /// Bounded, direct-mapped, no tags (§5.2: adds interference, positive
+    /// and negative).
+    Tagless(TaglessTable),
+}
+
+impl Backend {
+    fn lookup(&self, key: u64) -> Option<TableHit> {
+        match self {
+            Backend::Unbounded(t) => t.lookup(&key),
+            Backend::FullAssoc(t) => t.lookup(key),
+            Backend::SetAssoc(t) => t.lookup(key),
+            Backend::Tagless(t) => t.lookup(key),
+        }
+    }
+
+    fn update(&mut self, key: u64, actual: Addr, rule: UpdateRule) {
+        match self {
+            Backend::Unbounded(t) => t.update(key, actual, rule),
+            Backend::FullAssoc(t) => t.update(key, actual, rule),
+            Backend::SetAssoc(t) => t.update(key, actual, rule),
+            Backend::Tagless(t) => t.update(key, actual, rule),
+        }
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        match self {
+            Backend::Unbounded(_) => None,
+            Backend::FullAssoc(t) => Some(t.capacity()),
+            Backend::SetAssoc(t) => Some(t.capacity()),
+            Backend::Tagless(t) => Some(t.capacity()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backend::Unbounded(t) => t.len(),
+            Backend::FullAssoc(t) => t.len(),
+            Backend::SetAssoc(t) => t.len(),
+            Backend::Tagless(t) => t.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Backend::Unbounded(t) => t.clear(),
+            Backend::FullAssoc(t) => t.clear(),
+            Backend::SetAssoc(t) => t.clear(),
+            Backend::Tagless(t) => t.clear(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Backend::Unbounded(_) => "unbounded".to_string(),
+            Backend::FullAssoc(t) => format!("{}-entry full-assoc", t.capacity()),
+            Backend::SetAssoc(t) => {
+                format!("{}-entry {}-way", t.capacity(), t.ways())
+            }
+            Backend::Tagless(t) => format!("{}-entry tagless", t.capacity()),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    /// Full 32-bit target addresses in the key (§3), optionally reduced to
+    /// `precision` bits each (§4.1 / Figure 10). Always unbounded.
+    Full {
+        sharing: TableSharing,
+        precision: Option<u32>,
+        table: UnboundedTable<FullKey>,
+    },
+    /// Compressed ≤ 64-bit keys over any backend (§4.2, §5).
+    Compressed {
+        spec: CompressedKeySpec,
+        backend: Backend,
+    },
+}
+
+/// A two-level indirect branch predictor.
+///
+/// The first level is a path history of recent indirect-branch targets
+/// (shared according to [`HistorySharing`]); the second level is a history
+/// table keyed by the combination of that path with the branch address.
+/// Every §3–§5 configuration of the paper is expressible:
+///
+/// ```
+/// use ibp_core::{HistorySharing, Predictor, TwoLevelPredictor};
+/// use ibp_trace::Addr;
+///
+/// // The paper's best unconstrained predictor: global history, per-branch
+/// // tables, path length 6.
+/// let mut p = TwoLevelPredictor::unconstrained(6, HistorySharing::GLOBAL);
+///
+/// // A periodic target sequence at one site becomes perfectly predictable.
+/// let site = Addr::new(0x1000);
+/// let targets = [Addr::new(0x2000), Addr::new(0x3000), Addr::new(0x4000)];
+/// for round in 0..5 {
+///     for &t in &targets {
+///         let hit = p.predict(site) == Some(t);
+///         p.update(site, t);
+///         // The p = 6 history spans two periods, so every periodic
+///         // pattern has been seen (and trained) by round 3.
+///         if round >= 3 {
+///             assert!(hit, "periodic pattern learned");
+///         }
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevelPredictor {
+    histories: Histories,
+    path_len: usize,
+    rule: UpdateRule,
+    mode: Mode,
+    include_cond: bool,
+}
+
+impl TwoLevelPredictor {
+    /// An unconstrained full-precision predictor (§3) with per-branch
+    /// history tables (`h = 2`).
+    #[must_use]
+    pub fn unconstrained(path_len: usize, history_sharing: HistorySharing) -> Self {
+        TwoLevelPredictor::unconstrained_full(
+            path_len,
+            history_sharing,
+            TableSharing::PER_ADDRESS,
+            None,
+        )
+    }
+
+    /// An unconstrained predictor with explicit table sharing (§3.2.2) and
+    /// optional per-target precision in bits (§4.1 / Figure 10).
+    #[must_use]
+    pub fn unconstrained_full(
+        path_len: usize,
+        history_sharing: HistorySharing,
+        table_sharing: TableSharing,
+        precision: Option<u32>,
+    ) -> Self {
+        TwoLevelPredictor {
+            histories: Histories::new(history_sharing, HistoryElement::Target, path_len),
+            path_len,
+            rule: UpdateRule::TwoBitCounter,
+            mode: Mode::Full {
+                sharing: table_sharing,
+                precision,
+                table: UnboundedTable::new(2),
+            },
+            include_cond: false,
+        }
+    }
+
+    /// A compressed-key predictor over the given backend. The history
+    /// sharing is global (the paper's recommendation); use
+    /// [`with_history_sharing`](TwoLevelPredictor::with_history_sharing) to
+    /// override.
+    #[must_use]
+    pub(crate) fn compressed(spec: CompressedKeySpec, backend: Backend) -> Self {
+        TwoLevelPredictor {
+            histories: Histories::new(
+                HistorySharing::GLOBAL,
+                HistoryElement::Target,
+                spec.path_len(),
+            ),
+            path_len: spec.path_len(),
+            rule: UpdateRule::TwoBitCounter,
+            mode: Mode::Compressed { spec, backend },
+            include_cond: false,
+        }
+    }
+
+    /// A compressed-key predictor with an unbounded table (§4).
+    #[must_use]
+    pub fn compressed_unbounded(spec: CompressedKeySpec) -> Self {
+        TwoLevelPredictor::compressed(spec, Backend::Unbounded(UnboundedTable::new(2)))
+    }
+
+    /// A compressed-key predictor with a bounded fully-associative LRU
+    /// table (§5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a non-zero power of two.
+    #[must_use]
+    pub fn full_assoc(spec: CompressedKeySpec, entries: usize) -> Self {
+        TwoLevelPredictor::compressed(spec, Backend::FullAssoc(FullyAssocTable::new(entries, 2)))
+    }
+
+    /// A compressed-key predictor with a set-associative table (§5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries`/`ways` are not non-zero powers of two or
+    /// `ways > entries`.
+    #[must_use]
+    pub fn set_assoc(spec: CompressedKeySpec, entries: usize, ways: usize) -> Self {
+        TwoLevelPredictor::compressed(
+            spec,
+            Backend::SetAssoc(SetAssocTable::new(entries, ways, 2)),
+        )
+    }
+
+    /// A compressed-key predictor with a tagless table (§5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a non-zero power of two.
+    #[must_use]
+    pub fn tagless(spec: CompressedKeySpec, entries: usize) -> Self {
+        TwoLevelPredictor::compressed(spec, Backend::Tagless(TaglessTable::new(entries, 2)))
+    }
+
+    /// Overrides the first-level history sharing (§3.2.1).
+    #[must_use]
+    pub fn with_history_sharing(mut self, sharing: HistorySharing) -> Self {
+        self.histories = Histories::new(sharing, HistoryElement::Target, self.path_len);
+        self
+    }
+
+    /// Overrides the history element encoding (§3.3 variation).
+    #[must_use]
+    pub fn with_history_element(mut self, element: HistoryElement) -> Self {
+        self.histories = Histories::new(self.histories.sharing(), element, self.path_len);
+        self
+    }
+
+    /// Overrides the target update rule (§3.1: always-update vs 2bc).
+    #[must_use]
+    pub fn with_update_rule(mut self, rule: UpdateRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Overrides the confidence counter width of the second-level entries
+    /// (§6.1; meaningful when used as a hybrid component).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=7`.
+    #[must_use]
+    pub fn with_confidence_bits(mut self, bits: u8) -> Self {
+        match &mut self.mode {
+            Mode::Full { table, .. } => *table = UnboundedTable::new(bits),
+            Mode::Compressed { backend, .. } => match backend {
+                Backend::Unbounded(_) => *backend = Backend::Unbounded(UnboundedTable::new(bits)),
+                Backend::FullAssoc(t) => {
+                    *backend = Backend::FullAssoc(FullyAssocTable::new(t.capacity(), bits));
+                }
+                Backend::SetAssoc(t) => {
+                    *backend = Backend::SetAssoc(SetAssocTable::new(t.capacity(), t.ways(), bits));
+                }
+                Backend::Tagless(t) => {
+                    *backend = Backend::Tagless(TaglessTable::new(t.capacity(), bits));
+                }
+            },
+        }
+        self
+    }
+
+    /// Feeds conditional-branch targets into the history too (§3.3
+    /// variation — the paper found it harmful).
+    #[must_use]
+    pub fn with_cond_targets(mut self, include: bool) -> Self {
+        self.include_cond = include;
+        self
+    }
+
+    /// The path length `p`.
+    #[must_use]
+    pub fn path_len(&self) -> usize {
+        self.path_len
+    }
+
+    /// Number of distinct patterns currently stored.
+    #[must_use]
+    pub fn stored_patterns(&self) -> usize {
+        match &self.mode {
+            Mode::Full { table, .. } => table.len(),
+            Mode::Compressed { backend, .. } => backend.len(),
+        }
+    }
+
+    /// A stable fingerprint of the table key this branch would use right
+    /// now (branch address + current history). Two calls with identical
+    /// predictor state and `pc` return the same value; distinct keys
+    /// collide only with 64-bit-hash probability.
+    ///
+    /// Used by the miss-classification analysis in `ibp-sim` to tell
+    /// *compulsory* misses (key never trained) from *capacity/conflict*
+    /// misses (key trained before but evicted since).
+    #[must_use]
+    pub fn key_fingerprint(&self, pc: Addr) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let register = self.histories.register(pc);
+        match &self.mode {
+            Mode::Full {
+                sharing, precision, ..
+            } => {
+                let key = FullKey::build_with_precision(
+                    pc,
+                    register,
+                    self.path_len,
+                    *sharing,
+                    *precision,
+                );
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                key.hash(&mut h);
+                h.finish()
+            }
+            Mode::Compressed { spec, backend: _ } => spec.key(pc, register),
+        }
+    }
+
+    /// Looks up the prediction and its confidence — the interface hybrid
+    /// metaprediction builds on (§6.1).
+    #[must_use]
+    pub fn lookup(&self, pc: Addr) -> Option<TableHit> {
+        let register = self.histories.register(pc);
+        match &self.mode {
+            Mode::Full {
+                sharing,
+                precision,
+                table,
+            } => {
+                let key = FullKey::build_with_precision(
+                    pc,
+                    register,
+                    self.path_len,
+                    *sharing,
+                    *precision,
+                );
+                table.lookup(&key)
+            }
+            Mode::Compressed { spec, backend } => backend.lookup(spec.key(pc, register)),
+        }
+    }
+}
+
+impl Predictor for TwoLevelPredictor {
+    fn predict(&self, pc: Addr) -> Option<Addr> {
+        self.lookup(pc).map(|h| h.target)
+    }
+
+    fn update(&mut self, pc: Addr, actual: Addr) {
+        let register = self.histories.register(pc);
+        match &mut self.mode {
+            Mode::Full {
+                sharing,
+                precision,
+                table,
+            } => {
+                let key = FullKey::build_with_precision(
+                    pc,
+                    register,
+                    self.path_len,
+                    *sharing,
+                    *precision,
+                );
+                table.update(key, actual, self.rule);
+            }
+            Mode::Compressed { spec, backend } => {
+                let key = spec.key(pc, register);
+                backend.update(key, actual, self.rule);
+            }
+        }
+        self.histories.record(pc, actual);
+    }
+
+    fn observe_cond(&mut self, pc: Addr, target: Addr) {
+        if self.include_cond {
+            self.histories.record(pc, target);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.histories.clear();
+        match &mut self.mode {
+            Mode::Full { table, .. } => table.clear(),
+            Mode::Compressed { backend, .. } => backend.clear(),
+        }
+    }
+
+    fn name(&self) -> String {
+        let sharing = if self.histories.sharing().is_global() {
+            "global".to_string()
+        } else {
+            format!("s={}", self.histories.sharing().s())
+        };
+        match &self.mode {
+            Mode::Full {
+                sharing: ts,
+                precision,
+                ..
+            } => {
+                let prec = match precision {
+                    None => "full-precision".to_string(),
+                    Some(b) => format!("{b}-bit"),
+                };
+                format!(
+                    "two-level p={} {sharing} history, h={}, {prec}, unbounded",
+                    self.path_len,
+                    ts.h()
+                )
+            }
+            Mode::Compressed { spec, backend } => format!(
+                "two-level p={} {sharing} history, {} key, {} interleave, {}",
+                self.path_len,
+                spec.scheme(),
+                spec.interleaving(),
+                backend.describe()
+            ),
+        }
+    }
+
+    fn storage_entries(&self) -> Option<usize> {
+        match &self.mode {
+            Mode::Full { .. } => None,
+            Mode::Compressed { backend, .. } => backend.capacity(),
+        }
+    }
+
+    fn storage_bits(&self) -> Option<u64> {
+        // Per-entry payload: 30-bit target word + 1 hysteresis bit +
+        // 2-bit confidence counter.
+        const PAYLOAD_BITS: u64 = 30 + 1 + 2;
+        let Mode::Compressed { spec, backend } = &self.mode else {
+            return None;
+        };
+        let entries = backend.capacity()? as u64;
+        let tag_bits = match backend {
+            Backend::Unbounded(_) => return None,
+            Backend::Tagless(_) => 0,
+            Backend::SetAssoc(t) => {
+                u64::from(spec.key_width().saturating_sub(t.index_bits())) + 1 // +valid
+            }
+            Backend::FullAssoc(_) => u64::from(spec.key_width()) + 1,
+        };
+        Some(entries * (PAYLOAD_BITS + tag_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyScheme;
+
+    fn a(raw: u32) -> Addr {
+        Addr::new(raw)
+    }
+
+    /// Drives a predictor over a repeating (site, target) sequence and
+    /// returns the misprediction count over the last repetition.
+    fn final_round_misses(p: &mut dyn Predictor, seq: &[(u32, u32)], rounds: usize) -> usize {
+        let mut misses = 0;
+        for round in 0..rounds {
+            for &(pc, t) in seq {
+                let hit = p.predict(a(pc)) == Some(a(t));
+                p.update(a(pc), a(t));
+                if round == rounds - 1 && !hit {
+                    misses += 1;
+                }
+            }
+        }
+        misses
+    }
+
+    #[test]
+    fn p0_behaves_like_btb() {
+        let mut p = TwoLevelPredictor::unconstrained(0, HistorySharing::GLOBAL);
+        p.update(a(0x100), a(0x900));
+        assert_eq!(p.predict(a(0x100)), Some(a(0x900)));
+        assert_eq!(p.predict(a(0x200)), None);
+    }
+
+    #[test]
+    fn learns_alternating_targets_btb_cannot() {
+        // Site alternates between two targets: a BTB (p = 0) always misses,
+        // a p = 1 two-level predictor learns the alternation.
+        let seq = [(0x100u32, 0x900u32), (0x100, 0xA00)];
+        let mut btb = TwoLevelPredictor::unconstrained(0, HistorySharing::GLOBAL)
+            .with_update_rule(UpdateRule::Always);
+        let mut tl = TwoLevelPredictor::unconstrained(1, HistorySharing::GLOBAL);
+        assert_eq!(final_round_misses(&mut btb, &seq, 10), 2);
+        assert_eq!(final_round_misses(&mut tl, &seq, 10), 0);
+    }
+
+    #[test]
+    fn global_history_sees_other_branches() {
+        // Branch X at 0x300 follows four helper branches; its target is
+        // determined by *which helper ran last*, while its own target
+        // sequence (C, C, D, D) is ambiguous at path length 1.
+        let seq = [
+            (0x10u32, 0x90u32),
+            (0x300, 0xC00),
+            (0x14, 0x94),
+            (0x300, 0xC00),
+            (0x18, 0x98),
+            (0x300, 0xD00),
+            (0x1C, 0x9C),
+            (0x300, 0xD00),
+        ];
+        let mut global = TwoLevelPredictor::unconstrained(1, HistorySharing::GLOBAL);
+        let mut local = TwoLevelPredictor::unconstrained(1, HistorySharing::PER_ADDRESS);
+        assert_eq!(final_round_misses(&mut global, &seq, 10), 0);
+        // Per-address history at 0x300 sees pattern [C] precede both C and
+        // D (and likewise [D]), which with 2bc never stabilises.
+        assert!(final_round_misses(&mut local, &seq, 10) > 0);
+    }
+
+    #[test]
+    fn compressed_key_matches_unconstrained_on_small_workload() {
+        let seq = [
+            (0x100u32, 0x900u32),
+            (0x100, 0xA00),
+            (0x200, 0xB00),
+            (0x100, 0x900),
+        ];
+        let spec = CompressedKeySpec::practical(2);
+        let mut c = TwoLevelPredictor::compressed_unbounded(spec);
+        let mut u = TwoLevelPredictor::unconstrained(2, HistorySharing::GLOBAL);
+        assert_eq!(
+            final_round_misses(&mut c, &seq, 8),
+            final_round_misses(&mut u, &seq, 8)
+        );
+    }
+
+    #[test]
+    fn bounded_table_capacity_misses() {
+        // More sites than entries: a 4-entry table thrashes, unbounded does
+        // not.
+        let seq: Vec<(u32, u32)> = (0..16u32).map(|i| (0x100 + i * 4, 0x900 + i * 4)).collect();
+        let spec = CompressedKeySpec::practical(0);
+        let mut small = TwoLevelPredictor::full_assoc(spec, 4);
+        let mut big = TwoLevelPredictor::full_assoc(spec, 64);
+        assert!(final_round_misses(&mut small, &seq, 6) > 0);
+        assert_eq!(final_round_misses(&mut big, &seq, 6), 0);
+    }
+
+    #[test]
+    fn tagless_aliasing_still_predicts() {
+        let spec = CompressedKeySpec::practical(0);
+        let mut t = TwoLevelPredictor::tagless(spec, 2);
+        t.update(a(0x100), a(0x900));
+        // Any pc aliasing the same slot returns the stored target.
+        let alias = a(0x100 + 2 * 4);
+        assert_eq!(t.predict(a(0x108)), Some(a(0x900)));
+        let _ = alias;
+    }
+
+    #[test]
+    fn observe_cond_only_when_enabled() {
+        let site = a(0x100);
+        let mut plain = TwoLevelPredictor::unconstrained(1, HistorySharing::GLOBAL);
+        let mut noisy = plain.clone().with_cond_targets(true);
+
+        // Train both identically: after two updates the pattern
+        // [0x900] -> 0x900 is learned.
+        for p in [&mut plain, &mut noisy] {
+            p.update(site, a(0x900));
+            p.update(site, a(0x900));
+        }
+        assert_eq!(plain.predict(site), Some(a(0x900)));
+        // A conditional branch intervenes: it shifts `noisy`'s history (to a
+        // never-trained pattern) but leaves `plain` untouched.
+        plain.observe_cond(a(0x200), a(0x300));
+        noisy.observe_cond(a(0x200), a(0x300));
+        assert_eq!(plain.predict(site), Some(a(0x900)));
+        assert_eq!(noisy.predict(site), None);
+    }
+
+    #[test]
+    fn reset_returns_to_cold() {
+        let mut p = TwoLevelPredictor::unconstrained(2, HistorySharing::GLOBAL);
+        p.update(a(0x100), a(0x900));
+        p.reset();
+        assert_eq!(p.predict(a(0x100)), None);
+        assert_eq!(p.stored_patterns(), 0);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let u = TwoLevelPredictor::unconstrained(6, HistorySharing::GLOBAL);
+        assert!(u.name().contains("p=6"));
+        assert!(u.name().contains("global"));
+        let spec = CompressedKeySpec::practical(3).with_scheme(KeyScheme::GshareXor);
+        let s = TwoLevelPredictor::set_assoc(spec, 1024, 4);
+        assert!(s.name().contains("4-way"));
+        assert_eq!(s.storage_entries(), Some(1024));
+    }
+
+    #[test]
+    fn storage_bits_reflect_tag_costs() {
+        let spec = CompressedKeySpec::practical(3); // 30-bit xor keys
+        let tagless = TwoLevelPredictor::tagless(spec, 1024);
+        let set4 = TwoLevelPredictor::set_assoc(spec, 1024, 4);
+        let full = TwoLevelPredictor::full_assoc(spec, 1024);
+        let unbounded = TwoLevelPredictor::compressed_unbounded(spec);
+        // Tagless: payload only.
+        assert_eq!(tagless.storage_bits(), Some(1024 * 33));
+        // 4-way over 1024 entries: 256 sets -> 8 index bits -> 22-bit tag
+        // + valid.
+        assert_eq!(set4.storage_bits(), Some(1024 * (33 + 23)));
+        // Fully associative: full 30-bit tag + valid.
+        assert_eq!(full.storage_bits(), Some(1024 * (33 + 31)));
+        assert_eq!(unbounded.storage_bits(), None);
+        // Ordering: the paper's hardware argument.
+        assert!(tagless.storage_bits() < set4.storage_bits());
+        assert!(set4.storage_bits() < full.storage_bits());
+    }
+
+    #[test]
+    fn key_fingerprint_tracks_history_and_pc() {
+        let mut p = TwoLevelPredictor::unconstrained(2, HistorySharing::GLOBAL);
+        let f1 = p.key_fingerprint(a(0x100));
+        assert_eq!(f1, p.key_fingerprint(a(0x100)), "stable");
+        assert_ne!(f1, p.key_fingerprint(a(0x200)), "pc-sensitive");
+        p.update(a(0x100), a(0x900));
+        assert_ne!(f1, p.key_fingerprint(a(0x100)), "history-sensitive");
+        // Compressed predictors expose the raw key.
+        let c = TwoLevelPredictor::compressed_unbounded(CompressedKeySpec::practical(0));
+        assert_eq!(c.key_fingerprint(a(0x100)), u64::from(a(0x100).word()));
+    }
+
+    #[test]
+    fn precision_masks_distinguishable_targets() {
+        // Two targets differing only above bit 3 are indistinguishable at
+        // b = 1 precision but distinguishable at full precision.
+        let seq = [
+            (0x100u32, 0x900u32),
+            (0x100, 0xA00), // differs from 0x900 above bit 3
+            (0x100, 0x904),
+            (0x100, 0xA04),
+        ];
+        let mut low = TwoLevelPredictor::unconstrained_full(
+            1,
+            HistorySharing::GLOBAL,
+            TableSharing::PER_ADDRESS,
+            Some(1),
+        );
+        let mut full = TwoLevelPredictor::unconstrained(1, HistorySharing::GLOBAL);
+        let low_misses = final_round_misses(&mut low, &seq, 10);
+        let full_misses = final_round_misses(&mut full, &seq, 10);
+        assert!(low_misses > full_misses);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the table substrates.
+
+use ibp_core::table::{FullyAssocTable, LruMap, SetAssocTable, TaglessTable};
+use ibp_core::UpdateRule;
+use ibp_trace::Addr;
+use proptest::prelude::*;
+
+/// A reference LRU model: most-recent at the back of a Vec.
+#[derive(Default)]
+struct ModelLru {
+    entries: Vec<(u16, u32)>,
+    capacity: usize,
+}
+
+impl ModelLru {
+    fn insert(&mut self, k: u16, v: u32) -> Option<(u16, u32)> {
+        if let Some(pos) = self.entries.iter().position(|e| e.0 == k) {
+            self.entries.remove(pos);
+            self.entries.push((k, v));
+            return None;
+        }
+        let evicted = (self.entries.len() == self.capacity).then(|| self.entries.remove(0));
+        self.entries.push((k, v));
+        evicted
+    }
+
+    fn promote(&mut self, k: u16) -> Option<u32> {
+        let pos = self.entries.iter().position(|e| e.0 == k)?;
+        let e = self.entries.remove(pos);
+        self.entries.push(e);
+        Some(e.1)
+    }
+
+    fn remove(&mut self, k: u16) -> Option<u32> {
+        let pos = self.entries.iter().position(|e| e.0 == k)?;
+        Some(self.entries.remove(pos).1)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Promote(u16),
+    Peek(u16),
+    Remove(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..24, any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u16..24).prop_map(Op::Promote),
+        (0u16..24).prop_map(Op::Peek),
+        (0u16..24).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    /// The hand-rolled LRU map agrees with a brute-force model on every
+    /// operation sequence.
+    #[test]
+    fn lru_map_matches_model(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut lru = LruMap::new(capacity);
+        let mut model = ModelLru { capacity, ..ModelLru::default() };
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => prop_assert_eq!(lru.insert(k, v), model.insert(k, v)),
+                Op::Promote(k) => {
+                    prop_assert_eq!(lru.get_promote(&k).map(|v| *v), model.promote(k));
+                }
+                Op::Peek(k) => {
+                    let expect = model.entries.iter().find(|e| e.0 == k).map(|e| e.1);
+                    prop_assert_eq!(lru.peek(&k).copied(), expect);
+                }
+                Op::Remove(k) => prop_assert_eq!(lru.remove(&k), model.remove(k)),
+            }
+            prop_assert_eq!(lru.len(), model.entries.len());
+            prop_assert!(lru.len() <= capacity);
+            let order: Vec<u16> = lru.iter().map(|(&k, _)| k).collect();
+            let expect: Vec<u16> = model.entries.iter().rev().map(|e| e.0).collect();
+            prop_assert_eq!(order, expect);
+        }
+    }
+
+    /// A set-associative table with a single set behaves exactly like the
+    /// bounded fully-associative table (both are LRU over the same keys).
+    #[test]
+    fn single_set_equals_fully_associative(
+        updates in proptest::collection::vec((0u64..64, 0u32..16), 1..300),
+    ) {
+        let ways = 8usize;
+        let mut set_assoc = SetAssocTable::new(ways, ways, 2);
+        let mut full = FullyAssocTable::new(ways, 2);
+        for (key, t) in updates {
+            let target = Addr::from_word(0x4000 + t);
+            set_assoc.update(key, target, UpdateRule::TwoBitCounter);
+            full.update(key, target, UpdateRule::TwoBitCounter);
+            for probe in 0..64u64 {
+                prop_assert_eq!(
+                    set_assoc.lookup(probe),
+                    full.lookup(probe),
+                    "probe {}", probe
+                );
+            }
+        }
+    }
+
+    /// A tagless table never reports a miss for an index that has been
+    /// written, regardless of which key wrote it.
+    #[test]
+    fn tagless_positive_interference(
+        entries_log2 in 2u32..6,
+        updates in proptest::collection::vec((any::<u64>(), 0u32..64), 1..120),
+    ) {
+        let entries = 1usize << entries_log2;
+        let mut t = TaglessTable::new(entries, 2);
+        let mut written = std::collections::HashSet::new();
+        for (key, tv) in updates {
+            t.update(key, Addr::from_word(0x8000 + tv), UpdateRule::Always);
+            written.insert(key & (entries as u64 - 1));
+            for index in 0..entries as u64 {
+                prop_assert_eq!(t.lookup(index).is_some(), written.contains(&index));
+                // Any key aliasing the same index sees the same entry.
+                let alias = index | 0xF00;
+                prop_assert_eq!(
+                    t.lookup(alias & !(entries as u64 - 1) | index),
+                    t.lookup(index)
+                );
+            }
+        }
+        prop_assert_eq!(t.len(), written.len());
+    }
+
+    /// Table occupancy never exceeds capacity and lookups after an update
+    /// with `Always` return the just-written target.
+    #[test]
+    fn set_assoc_always_update_visible(
+        entries_log2 in 2u32..7,
+        ways_log2 in 0u32..3,
+        updates in proptest::collection::vec((any::<u64>(), 0u32..1024), 1..200),
+    ) {
+        let entries = 1usize << entries_log2;
+        let ways = (1usize << ways_log2).min(entries);
+        let mut t = SetAssocTable::new(entries, ways, 2);
+        for (key, tv) in updates {
+            let target = Addr::from_word(0x1_0000 + tv);
+            t.update(key, target, UpdateRule::Always);
+            prop_assert_eq!(t.lookup(key).map(|h| h.target), Some(target));
+            prop_assert!(t.len() <= t.capacity());
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Deeper simulation analytics: miss classification, per-site breakdowns
+//! and pattern censuses.
+//!
+//! These reproduce the *analytical* observations scattered through the
+//! paper's prose — e.g. §5.1's "p = 2 wins at table size 256 with a
+//! misprediction rate of 12.5 %, 3.6 % of which is due to capacity misses"
+//! and "*ixx* generates 203 different patterns for path length p = 0 …
+//! and ends up with 9403 patterns for p = 12".
+
+use std::collections::{HashMap, HashSet};
+
+use ibp_core::{Predictor, TwoLevelPredictor};
+use ibp_trace::{Addr, Trace, TraceEvent};
+
+/// Misprediction breakdown by cause for a two-level predictor.
+///
+/// Every scored indirect branch falls into exactly one class:
+///
+/// * **hit** — predicted correctly;
+/// * **wrong target** — the key was in the table but held another target
+///   (the branch genuinely changed behaviour, or the 2bc rule is mid
+///   transition);
+/// * **capacity** — the key had been trained earlier but was evicted
+///   (capacity or conflict, depending on the organisation);
+/// * **cold** — the key had never been trained (compulsory / warm-up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MissBreakdown {
+    /// Correct predictions.
+    pub hits: u64,
+    /// Mispredictions with the pattern present.
+    pub wrong_target: u64,
+    /// Mispredictions because the pattern was evicted.
+    pub capacity: u64,
+    /// Mispredictions because the pattern was never seen.
+    pub cold: u64,
+}
+
+impl MissBreakdown {
+    /// Scored branches.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.wrong_target + self.capacity + self.cold
+    }
+
+    /// Total misprediction rate.
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.wrong_target + self.capacity + self.cold) as f64 / total as f64
+        }
+    }
+
+    /// The capacity/conflict component of the misprediction rate — the
+    /// quantity the paper attributes in §5.1.
+    #[must_use]
+    pub fn capacity_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.capacity as f64 / total as f64
+        }
+    }
+
+    /// The compulsory (cold) component of the misprediction rate.
+    #[must_use]
+    pub fn cold_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.cold as f64 / total as f64
+        }
+    }
+}
+
+/// Simulates a two-level predictor while classifying every misprediction.
+///
+/// The classifier shadows the predictor with an ever-seen key set (via
+/// [`TwoLevelPredictor::key_fingerprint`]): a missing key that *was* seen
+/// is a capacity/conflict miss, a missing key never seen is a cold miss.
+/// For unbounded tables the capacity class is structurally zero.
+pub fn simulate_classified(trace: &Trace, predictor: &mut TwoLevelPredictor) -> MissBreakdown {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut out = MissBreakdown::default();
+    for event in trace.events() {
+        match event {
+            TraceEvent::Indirect(b) => {
+                let key = predictor.key_fingerprint(b.pc);
+                let hit = predictor.lookup(b.pc);
+                match hit {
+                    Some(h) if h.target == b.target => out.hits += 1,
+                    Some(_) => out.wrong_target += 1,
+                    None if seen.contains(&key) => out.capacity += 1,
+                    None => out.cold += 1,
+                }
+                predictor.update(b.pc, b.target);
+                seen.insert(key);
+            }
+            TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
+        }
+    }
+    out
+}
+
+/// Per-site misprediction statistics from one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteMisses {
+    /// The branch site.
+    pub pc: Addr,
+    /// Scored executions.
+    pub executions: u64,
+    /// Mispredicted executions.
+    pub mispredicted: u64,
+}
+
+impl SiteMisses {
+    /// The site's misprediction rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.mispredicted as f64 / self.executions as f64
+        }
+    }
+}
+
+/// Simulates a predictor and returns per-site misprediction counts, sorted
+/// by descending misprediction volume.
+///
+/// Useful for the "which sites dominate the misses" question that drives
+/// the paper's focus on a handful of megamorphic branches.
+pub fn simulate_per_site(trace: &Trace, predictor: &mut dyn Predictor) -> Vec<SiteMisses> {
+    let mut per_site: HashMap<Addr, (u64, u64)> = HashMap::new();
+    for event in trace.events() {
+        match event {
+            TraceEvent::Indirect(b) => {
+                let predicted = predictor.predict(b.pc);
+                let entry = per_site.entry(b.pc).or_insert((0, 0));
+                entry.0 += 1;
+                if predicted != Some(b.target) {
+                    entry.1 += 1;
+                }
+                predictor.update(b.pc, b.target);
+            }
+            TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
+        }
+    }
+    let mut out: Vec<SiteMisses> = per_site
+        .into_iter()
+        .map(|(pc, (executions, mispredicted))| SiteMisses {
+            pc,
+            executions,
+            mispredicted,
+        })
+        .collect();
+    out.sort_by(|a, b| b.mispredicted.cmp(&a.mispredicted).then(a.pc.cmp(&b.pc)));
+    out
+}
+
+/// Counts the distinct `(branch, path)` patterns a trace generates at a
+/// given path length — the paper's §5.1 pattern-census (203 patterns at
+/// `p = 0` up to 9403 at `p = 12` for *ixx*).
+#[must_use]
+pub fn pattern_census(trace: &Trace, path_len: usize) -> usize {
+    let mut predictor =
+        TwoLevelPredictor::unconstrained(path_len, ibp_core::HistorySharing::GLOBAL);
+    for b in trace.indirect() {
+        predictor.update(b.pc, b.target);
+    }
+    predictor.stored_patterns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_core::CompressedKeySpec;
+    use ibp_trace::BranchKind;
+
+    fn a(raw: u32) -> Addr {
+        Addr::new(raw)
+    }
+
+    /// A trace cycling through n distinct monomorphic sites.
+    fn cycling_trace(sites: u32, rounds: u32) -> Trace {
+        let mut t = Trace::new("cycle");
+        for _ in 0..rounds {
+            for s in 0..sites {
+                t.push_indirect(a(0x100 + s * 4), a(0x9000 + s * 4), BranchKind::Switch);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn unbounded_tables_have_no_capacity_misses() {
+        let t = cycling_trace(16, 10);
+        let mut p = TwoLevelPredictor::compressed_unbounded(CompressedKeySpec::practical(0));
+        let b = simulate_classified(&t, &mut p);
+        assert_eq!(b.capacity, 0);
+        assert_eq!(b.cold, 16);
+        assert_eq!(b.wrong_target, 0);
+        assert_eq!(b.hits, 16 * 9);
+        assert_eq!(b.total(), 160);
+    }
+
+    #[test]
+    fn thrashing_table_shows_capacity_misses() {
+        // 16 sites cycling through a 4-entry LRU: every access after the
+        // first round is a capacity miss.
+        let t = cycling_trace(16, 10);
+        let mut p = TwoLevelPredictor::full_assoc(CompressedKeySpec::practical(0), 4);
+        let b = simulate_classified(&t, &mut p);
+        assert_eq!(b.cold, 16);
+        assert_eq!(b.capacity, 16 * 9);
+        assert_eq!(b.hits, 0);
+        assert!((b.capacity_rate() - 0.9).abs() < 1e-12);
+        assert!((b.misprediction_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_target_class_detected() {
+        // One site alternating targets: BTB-style predictor keeps the key
+        // resident but mispredicts half the time.
+        let mut t = Trace::new("alt");
+        for i in 0..40u32 {
+            t.push_indirect(a(0x100), a(0x9000 + (i % 2) * 4), BranchKind::Switch);
+        }
+        let mut p = TwoLevelPredictor::compressed_unbounded(CompressedKeySpec::practical(0));
+        let b = simulate_classified(&t, &mut p);
+        assert_eq!(b.cold, 1);
+        assert_eq!(b.capacity, 0);
+        assert!(b.wrong_target > 10);
+    }
+
+    #[test]
+    fn per_site_attribution() {
+        // Site A monomorphic, site B alternating: B owns the misses.
+        let mut t = Trace::new("two");
+        for i in 0..30u32 {
+            t.push_indirect(a(0x100), a(0x9000), BranchKind::Switch);
+            t.push_indirect(a(0x200), a(0xA000 + (i % 2) * 4), BranchKind::Switch);
+        }
+        let mut p = ibp_core::PredictorConfig::btb().build();
+        let sites = simulate_per_site(&t, p.as_mut());
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].pc, a(0x200));
+        assert!(sites[0].rate() > 0.9);
+        assert!(sites[1].rate() < 0.1);
+        assert_eq!(sites[0].executions, 30);
+    }
+
+    #[test]
+    fn pattern_census_grows_with_path_length() {
+        let trace = {
+            let mut t = Trace::new("mix");
+            for i in 0..400u32 {
+                let s = i % 5;
+                let target = 0x9000 + ((i * 7 + s) % 6) * 4;
+                t.push_indirect(a(0x100 + s * 4), a(target), BranchKind::Switch);
+            }
+            t
+        };
+        let p0 = pattern_census(&trace, 0);
+        let p2 = pattern_census(&trace, 2);
+        let p6 = pattern_census(&trace, 6);
+        assert_eq!(p0, 5);
+        assert!(p2 > p0);
+        assert!(p6 >= p2);
+    }
+
+    #[test]
+    fn breakdown_totals_match_plain_simulation() {
+        let t = cycling_trace(8, 6);
+        let mut classified = TwoLevelPredictor::full_assoc(CompressedKeySpec::practical(1), 8);
+        let b = simulate_classified(&t, &mut classified);
+        let mut plain = TwoLevelPredictor::full_assoc(CompressedKeySpec::practical(1), 8);
+        let stats = crate::simulate(&t, &mut plain);
+        assert_eq!(b.total(), stats.indirect);
+        assert!((b.misprediction_rate() - stats.misprediction_rate()).abs() < 1e-12);
+    }
+}

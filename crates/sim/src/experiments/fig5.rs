@@ -1,0 +1,61 @@
+//! Figure 5: influence of history-pattern sharing (`s`).
+
+use ibp_core::{HistorySharing, PredictorConfig};
+
+use crate::experiments::{group_headers, group_row};
+use crate::report::Table;
+use crate::suite::Suite;
+
+/// The `s` values swept: per-address (2), the paper's plotted region, and
+/// global (31).
+pub const S_VALUES: [u32; 12] = [2, 4, 6, 8, 9, 10, 12, 14, 16, 18, 22, 31];
+
+/// Sweeps first-level history sharing at path length 8 with per-branch
+/// history tables, as in the paper's Figure 5.
+///
+/// Paper shape: a global history (`s = 31`) beats per-address history for
+/// every group except AVG-infreq — AVG falls from 9.4 % (per-address) to
+/// 6.0 % (global).
+#[must_use]
+pub fn run(suite: &Suite) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 5: history sharing (p=8, per-branch tables)",
+        group_headers("s"),
+    );
+    for s in S_VALUES {
+        let result = suite.run(move || {
+            PredictorConfig::unconstrained(8)
+                .with_history_sharing(HistorySharing::per_set(s))
+                .build()
+        });
+        t.push_row(group_row(u64::from(s), &result));
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Cell;
+    use ibp_workload::Benchmark;
+
+    #[test]
+    fn global_beats_per_address_history() {
+        let suite = Suite::with_benchmarks_and_len(
+            &[Benchmark::Ixx, Benchmark::Porky, Benchmark::Troff],
+            20_000,
+        );
+        let tables = run(&suite);
+        let rows = tables[0].rows();
+        let avg_of = |row: &[Cell]| match row[1] {
+            Cell::Percent(p) => p,
+            _ => panic!("AVG cell"),
+        };
+        let per_address = avg_of(&rows[0]); // s = 2
+        let global = avg_of(rows.last().unwrap()); // s = 31
+        assert!(
+            global < per_address,
+            "global {global} vs per-address {per_address}"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 7: influence of history-table sharing (`h`).
+
+use ibp_core::{PredictorConfig, TableSharing};
+
+use crate::experiments::{group_headers, group_row};
+use crate::report::Table;
+use crate::suite::Suite;
+
+/// The `h` values swept: per-branch (2) up to a single shared table (31).
+pub const H_VALUES: [u32; 12] = [2, 4, 6, 8, 9, 10, 12, 14, 16, 18, 22, 31];
+
+/// Sweeps second-level table sharing at path length 8 with a global
+/// history, as in the paper's Figure 7.
+///
+/// Paper shape: sharing the history table hurts — AVG rises from 6.0 %
+/// (per-address tables, `h = 2`) to 9.6 % (one global table, `h = 31`),
+/// so the paper settles on per-address tables.
+#[must_use]
+pub fn run(suite: &Suite) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 7: history table sharing (p=8, global history)",
+        group_headers("h"),
+    );
+    for h in H_VALUES {
+        let result = suite.run(move || {
+            PredictorConfig::unconstrained(8)
+                .with_table_sharing(TableSharing::per_set(h))
+                .build()
+        });
+        t.push_row(group_row(u64::from(h), &result));
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Cell;
+    use ibp_workload::Benchmark;
+
+    #[test]
+    fn per_address_tables_beat_shared_tables() {
+        let suite = Suite::with_benchmarks_and_len(
+            &[Benchmark::Ixx, Benchmark::Porky, Benchmark::Troff],
+            20_000,
+        );
+        let tables = run(&suite);
+        let rows = tables[0].rows();
+        let avg_of = |row: &[Cell]| match row[1] {
+            Cell::Percent(p) => p,
+            _ => panic!("AVG cell"),
+        };
+        let per_address = avg_of(&rows[0]); // h = 2
+        let shared = avg_of(rows.last().unwrap()); // h = 31
+        assert!(
+            per_address < shared,
+            "per-address {per_address} vs shared {shared}"
+        );
+    }
+}

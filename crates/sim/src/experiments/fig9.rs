@@ -1,0 +1,65 @@
+//! Figure 9: misprediction as a function of path length.
+
+use ibp_core::{PredictorConfig, MAX_PATH};
+
+use crate::experiments::{group_headers, group_row};
+use crate::report::Table;
+use crate::suite::Suite;
+
+/// Sweeps path length 0..=18 for the unconstrained two-level predictor
+/// (global history, per-address tables).
+///
+/// Paper shape: AVG drops steeply from 24.9 % at `p = 0` (a BTB) to 7.8 %
+/// at `p = 3`, bottoms out around `p = 6` (5.8 %), then rises again for
+/// longer paths as cold-start misses outweigh the extra correlation.
+#[must_use]
+pub fn run(suite: &Suite) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 9: path length sweep (global history, per-address tables)",
+        group_headers("p"),
+    );
+    for p in 0..=MAX_PATH {
+        let result = suite.run(move || PredictorConfig::unconstrained(p).build());
+        t.push_row(group_row(p as u64, &result));
+    }
+    vec![t]
+}
+
+/// The AVG series of the sweep, for tests and downstream tooling.
+#[must_use]
+pub fn avg_series(suite: &Suite) -> Vec<f64> {
+    (0..=MAX_PATH)
+        .map(|p| {
+            suite
+                .run(move || PredictorConfig::unconstrained(p).build())
+                .avg()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_workload::Benchmark;
+
+    #[test]
+    fn u_shape_on_oo_benchmarks() {
+        let suite = Suite::with_benchmarks_and_len(
+            &[Benchmark::Ixx, Benchmark::Porky, Benchmark::Eqn],
+            20_000,
+        );
+        let series = avg_series(&suite);
+        assert_eq!(series.len(), MAX_PATH + 1);
+        let (best_p, &best) = series
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        // Steep initial drop: best is far below the BTB point...
+        assert!(best < series[0] / 2.0, "best {best} vs p0 {}", series[0]);
+        // ...the minimum is at a moderate path length...
+        assert!((1..=8).contains(&best_p), "minimum at p={best_p}");
+        // ...and very long paths are worse than the minimum.
+        assert!(series[MAX_PATH] > best * 1.2);
+    }
+}

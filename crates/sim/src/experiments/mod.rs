@@ -1,0 +1,242 @@
+//! One runner per figure and table of the paper.
+//!
+//! Every experiment is a function from a [`Suite`] (the benchmark traces)
+//! to one or more [`Table`]s shaped like the paper's artifact. The
+//! `ibp-bench` binaries are thin wrappers that build a suite, call a runner
+//! and print/save the tables; integration tests call the same runners at
+//! reduced scale.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1_2`] | Tables 1–2 (benchmark characteristics) |
+//! | [`fig2`] | Figure 2 (unconstrained BTB vs BTB-2bc) |
+//! | [`fig5`] | Figure 5 (history sharing `s`) |
+//! | [`fig7`] | Figure 7 (table sharing `h`) |
+//! | [`fig9`] | Figure 9 (path length sweep) |
+//! | [`fig10`] | Figure 10 (limited-precision patterns) |
+//! | [`table5`] | Table 5 (concat vs gshare-xor keys) |
+//! | [`fig11`] | Figure 11 (bounded fully-associative tables) |
+//! | [`fig12_14_15`] | Figures 12/14/15 (associativity × interleaving) |
+//! | [`fig16`] | Figure 16 (misprediction vs table size) |
+//! | [`fig17`] | Figure 17 (hybrid path-length surface) |
+//! | [`fig18`] | Figure 18 + Tables 6/A-1/A-2 (best predictors) |
+//! | [`analysis`] | §5.1 miss attribution and pattern census |
+//! | [`ablations`] | §6.1 confidence width, §3.3 variations, BPST |
+//! | [`ext`] | §8.1 future-work predictors |
+//! | [`related_work`] | §7 Target Cache comparison |
+//! | [`hardware`] | §5.2.2 equal-bit-budget comparison |
+//! | [`sensitivity`] | trace-length sensitivity of the Fig. 9 tail |
+//! | [`summary`] | The abstract's headline numbers |
+
+pub mod ablations;
+pub mod analysis;
+pub mod ext;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12_14_15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig2;
+pub mod fig5;
+pub mod fig7;
+pub mod fig9;
+pub mod hardware;
+pub mod related_work;
+pub mod sensitivity;
+pub mod summary;
+pub mod table1_2;
+pub mod table5;
+
+use ibp_workload::BenchmarkGroup;
+
+use crate::report::{Cell, Table};
+use crate::suite::{Suite, SuiteResult};
+
+/// The table sizes (total entries) the paper sweeps in §5–§6 and the
+/// appendix.
+pub const TABLE_SIZES: [usize; 11] = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+/// The benchmark groups shown as columns in most figures.
+pub const GROUP_COLUMNS: [BenchmarkGroup; 6] = [
+    BenchmarkGroup::Avg,
+    BenchmarkGroup::AvgOo,
+    BenchmarkGroup::AvgC,
+    BenchmarkGroup::Avg100,
+    BenchmarkGroup::Avg200,
+    BenchmarkGroup::AvgInfreq,
+];
+
+/// A named experiment, for registries and the `repro_all` runner.
+pub struct Experiment {
+    /// Short identifier (`fig9`, `fig18`, …).
+    pub id: &'static str,
+    /// The paper artifact it regenerates.
+    pub title: &'static str,
+    /// The runner.
+    pub run: fn(&Suite) -> Vec<Table>,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .finish()
+    }
+}
+
+/// Every experiment, in paper order.
+#[must_use]
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1_2",
+            title: "Tables 1-2: benchmark characteristics",
+            run: table1_2::run,
+        },
+        Experiment {
+            id: "fig2",
+            title: "Figure 2: unconstrained BTB misprediction rates",
+            run: fig2::run,
+        },
+        Experiment {
+            id: "fig5",
+            title: "Figure 5: history pattern sharing (s)",
+            run: fig5::run,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Figure 7: history table sharing (h)",
+            run: fig7::run,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Figure 9: misprediction vs path length",
+            run: fig9::run,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Figure 10: limited-precision history patterns",
+            run: fig10::run,
+        },
+        Experiment {
+            id: "table5",
+            title: "Table 5: concatenation vs xor of branch address",
+            run: table5::run,
+        },
+        Experiment {
+            id: "fig11",
+            title: "Figure 11: limited-size fully-associative tables",
+            run: fig11::run,
+        },
+        Experiment {
+            id: "fig12_14_15",
+            title: "Figures 12/14/15: associativity and interleaving",
+            run: fig12_14_15::run,
+        },
+        Experiment {
+            id: "fig16",
+            title: "Figure 16: misprediction vs table size and associativity",
+            run: fig16::run,
+        },
+        Experiment {
+            id: "fig17",
+            title: "Figure 17: hybrid predictor hit-rate surface",
+            run: fig17::run,
+        },
+        Experiment {
+            id: "fig18",
+            title: "Figure 18 + Tables 6/A-1/A-2: best predictors per size",
+            run: fig18::run,
+        },
+        Experiment {
+            id: "analysis",
+            title: "§5.1 analysis: miss attribution and pattern census",
+            run: analysis::run,
+        },
+        Experiment {
+            id: "ablations",
+            title: "Ablations: confidence width, history variations, BPST",
+            run: ablations::run,
+        },
+        Experiment {
+            id: "ext",
+            title: "§8.1 future-work predictors",
+            run: ext::run,
+        },
+        Experiment {
+            id: "related_work",
+            title: "§7: related-work comparison (Target Cache)",
+            run: related_work::run,
+        },
+        Experiment {
+            id: "hardware",
+            title: "§5.2.2: equal hardware (bit) budget comparison",
+            run: hardware::run,
+        },
+        Experiment {
+            id: "sensitivity",
+            title: "Trace-length sensitivity of the Figure 9 tail",
+            run: sensitivity::run,
+        },
+        Experiment {
+            id: "summary",
+            title: "Headline numbers (abstract / §8)",
+            run: summary::run,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+#[must_use]
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+/// Builds a row of group-average cells (the common figure layout): the
+/// label cell followed by one percentage per [`GROUP_COLUMNS`] entry.
+pub(crate) fn group_row(label: impl Into<Cell>, result: &SuiteResult) -> Vec<Cell> {
+    let mut row = vec![label.into()];
+    for g in GROUP_COLUMNS {
+        row.push(match result.group_rate(g) {
+            Some(r) => Cell::Percent(r),
+            None => Cell::Empty,
+        });
+    }
+    row
+}
+
+/// Header for [`group_row`] tables.
+pub(crate) fn group_headers(first: &str) -> Vec<String> {
+    let mut h = vec![first.to_string()];
+    h.extend(GROUP_COLUMNS.iter().map(|g| g.name().to_string()));
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_resolvable() {
+        let experiments = all();
+        assert_eq!(experiments.len(), 19);
+        let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 19);
+        assert!(by_id("fig9").is_some());
+        assert!(by_id("nope").is_none());
+        let dbg = format!("{:?}", by_id("fig9").unwrap());
+        assert!(dbg.contains("fig9"));
+    }
+
+    #[test]
+    fn group_headers_shape() {
+        let h = group_headers("p");
+        assert_eq!(h.len(), 7);
+        assert_eq!(h[0], "p");
+        assert_eq!(h[1], "AVG");
+    }
+}

@@ -1,0 +1,113 @@
+//! §7 related-work comparison: this paper's predictors versus Chang et
+//! al.'s Target Cache at the same 512-entry budget.
+//!
+//! The paper's quoted gcc numbers: Target Cache gshare(9) 30.9 %, "a
+//! comparable non-hybrid predictor (p = 3, tagless 512-entry)" 31.5 %,
+//! best non-hybrid (p = 2, 4-way 512) 28.1 %, best hybrid (p = 3.1, 4-way
+//! 512 total) 26.4 % — i.e. path histories edge out direction histories.
+//!
+//! On this repository's synthetic traces the gap is much wider: indirect
+//! targets are driven by the hidden activity, which conditional-branch
+//! *direction bits* only reflect indirectly, so the Target Cache trails
+//! every path-based design (and, on the suite average, even the BTB —
+//! aliasing across its key space dominates). That is the same direction as
+//! the paper's §3.3 finding that direction-adjacent history content is
+//! weaker than target addresses, amplified by the synthetic substrate; the
+//! paper itself flags its §7 numbers as architecture- and input-sensitive.
+//! The gshare width sweep below shows the interference trade-off directly.
+
+use ibp_core::ext::TargetCache;
+use ibp_core::PredictorConfig;
+use ibp_workload::{Benchmark, BenchmarkGroup};
+
+use crate::report::{Cell, Table};
+use crate::suite::Suite;
+
+/// Table budget for the whole comparison (entries).
+pub const ENTRIES: usize = 512;
+
+/// Runs the five §7 configurations over the suite and reports gcc plus the
+/// group averages, mirroring the paper's comparison paragraph.
+#[must_use]
+pub fn run(suite: &Suite) -> Vec<Table> {
+    let mut t = Table::new(
+        "§7: related work at a 512-entry budget",
+        ["predictor", "gcc", "AVG", "AVG-OO", "AVG-C"],
+    );
+    type Make = Box<dyn Fn() -> Box<dyn ibp_core::Predictor> + Sync>;
+    let configs: Vec<(&str, Make)> = vec![
+        (
+            "BTB-2bc (unconstrained)",
+            Box::new(|| PredictorConfig::btb_2bc().build()),
+        ),
+        (
+            "Target Cache gshare(2), tagless",
+            Box::new(|| Box::new(TargetCache::new(2, ENTRIES))),
+        ),
+        (
+            "Target Cache gshare(5), tagless",
+            Box::new(|| Box::new(TargetCache::new(5, ENTRIES))),
+        ),
+        (
+            "Target Cache gshare(9), tagless",
+            Box::new(|| Box::new(TargetCache::new(9, ENTRIES))),
+        ),
+        (
+            "this paper: p=3 tagless",
+            Box::new(|| PredictorConfig::tagless(3, ENTRIES).build()),
+        ),
+        (
+            "this paper: p=2 4-way",
+            Box::new(|| PredictorConfig::practical(2, ENTRIES, 4).build()),
+        ),
+        (
+            "this paper: hybrid 3.1 4-way",
+            Box::new(|| PredictorConfig::hybrid(3, 1, ENTRIES / 2, 4).build()),
+        ),
+    ];
+    for (label, make) in &configs {
+        let result = suite.run(|| make());
+        t.push_row(vec![
+            Cell::from(*label),
+            match result.rate(Benchmark::Gcc) {
+                Some(r) => Cell::Percent(r),
+                None => Cell::Empty,
+            },
+            Cell::Percent(result.group_rate(BenchmarkGroup::Avg).unwrap_or(0.0)),
+            Cell::Percent(result.group_rate(BenchmarkGroup::AvgOo).unwrap_or(0.0)),
+            Cell::Percent(result.group_rate(BenchmarkGroup::AvgC).unwrap_or(0.0)),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_history_beats_direction_history() {
+        // The paper's point: even the modest p = 3 tagless design is in the
+        // Target Cache's league, and the 4-way/hybrid versions beat it.
+        let suite = Suite::with_benchmarks_and_len(
+            &[Benchmark::Gcc, Benchmark::Ixx, Benchmark::Porky],
+            20_000,
+        );
+        let t = &run(&suite)[0];
+        let avg = |row: usize| match t.rows()[row][2] {
+            Cell::Percent(p) => p,
+            _ => panic!("percent"),
+        };
+        let gshare9 = avg(3);
+        let p3_tagless = avg(4);
+        let hybrid = avg(6);
+        assert!(
+            p3_tagless < gshare9,
+            "path history {p3_tagless} should beat direction history {gshare9}"
+        );
+        assert!(
+            hybrid < gshare9,
+            "hybrid {hybrid} should beat the target cache {gshare9}"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! The headline numbers from the abstract and conclusions (§8).
+
+use ibp_core::PredictorConfig;
+use ibp_workload::BenchmarkGroup;
+
+use crate::report::{Cell, Table};
+use crate::suite::Suite;
+
+/// Regenerates the abstract's claims:
+///
+/// * an ideal (unconstrained) BTB mispredicts ≈ 25 % of indirect branches;
+/// * a practical two-level predictor reaches ≈ 9.8 % with a 1K-entry table
+///   and ≈ 7.3 % with 8K (4-way, `p = 3`/`p = 4`) — "more than a threefold
+///   improvement over an ideal BTB";
+/// * hybrids further reduce these to ≈ 8.98 % and ≈ 5.95 %.
+///
+/// The reproduced numbers use this repo's best path lengths (chosen by a
+/// small sweep) rather than hard-coding the paper's.
+#[must_use]
+pub fn run(suite: &Suite) -> Vec<Table> {
+    let avg = |cfg: PredictorConfig| -> f64 {
+        suite
+            .run(move || cfg.build())
+            .group_rate(BenchmarkGroup::Avg)
+            .unwrap_or(0.0)
+    };
+    let best_over = |mk: &dyn Fn(usize) -> PredictorConfig, paths: &[usize]| -> f64 {
+        paths
+            .iter()
+            .map(|&p| avg(mk(p)))
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let btb = avg(PredictorConfig::btb_2bc());
+    let two_level_1k = best_over(&|p| PredictorConfig::practical(p, 1024, 4), &[1, 2, 3, 4]);
+    let two_level_8k = best_over(
+        &|p| PredictorConfig::practical(p, 8192, 4),
+        &[2, 3, 4, 5, 6],
+    );
+    let hybrid_1k = best_over(&|p| PredictorConfig::hybrid(p, 1, 512, 4), &[2, 3, 4]);
+    let hybrid_8k = best_over(&|p| PredictorConfig::hybrid(p, 2, 4096, 4), &[4, 5, 6, 7]);
+
+    let mut t = Table::new(
+        "Headline numbers (AVG misprediction)",
+        ["predictor", "measured", "paper"],
+    );
+    let rows: [(&str, f64, f64); 5] = [
+        ("ideal BTB (2bc)", btb, 0.249),
+        ("two-level, 1K 4-way", two_level_1k, 0.098),
+        ("two-level, 8K 4-way", two_level_8k, 0.073),
+        ("hybrid, 1K total 4-way", hybrid_1k, 0.0898),
+        ("hybrid, 8K total 4-way", hybrid_8k, 0.0595),
+    ];
+    for (label, measured, paper) in rows {
+        t.push_row(vec![
+            Cell::from(label),
+            Cell::Percent(measured),
+            Cell::Percent(paper),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_workload::Benchmark;
+
+    #[test]
+    fn two_level_improves_over_btb_threefold_shape() {
+        let suite = Suite::with_benchmarks_and_len(
+            &[Benchmark::Ixx, Benchmark::Porky, Benchmark::Eqn],
+            15_000,
+        );
+        let t = &run(&suite)[0];
+        let measured = |row: usize| match t.rows()[row][1] {
+            Cell::Percent(p) => p,
+            _ => panic!("percent"),
+        };
+        let btb = measured(0);
+        let tl_8k = measured(2);
+        assert!(
+            tl_8k * 2.0 < btb,
+            "8K two-level {tl_8k} not well below BTB {btb}"
+        );
+    }
+}

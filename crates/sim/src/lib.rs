@@ -1,0 +1,40 @@
+//! Trace-driven simulation of indirect-branch predictors.
+//!
+//! This crate drives [`ibp_core`] predictors over [`ibp_workload`] traces
+//! and reproduces the paper's evaluation methodology:
+//!
+//! * [`simulate`] — score one predictor over one trace (predict → compare →
+//!   update per indirect branch, §2's protocol);
+//! * [`Suite`] — the 17-benchmark suite with per-benchmark rates and the
+//!   paper's group averages (`AVG`, `AVG-OO`, …, Table 3 semantics);
+//! * [`report`] — plain-text and CSV rendering of result tables;
+//! * [`experiments`] — one runner per figure/table of the paper (the
+//!   `ibp-bench` binaries are thin wrappers over these).
+//!
+//! # Example
+//!
+//! ```
+//! use ibp_core::PredictorConfig;
+//! use ibp_sim::simulate;
+//! use ibp_workload::Benchmark;
+//!
+//! let trace = Benchmark::Ixx.trace_with_len(20_000);
+//! let mut p = PredictorConfig::practical(3, 1024, 4).build();
+//! let run = simulate(&trace, p.as_mut());
+//! assert_eq!(run.indirect, 20_000);
+//! assert!(run.misprediction_rate() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod experiments;
+mod parallel;
+pub mod report;
+mod run;
+mod suite;
+
+pub use parallel::parallel_map;
+pub use run::{simulate, simulate_warm, RunStats};
+pub use suite::{Suite, SuiteResult};

@@ -1,0 +1,253 @@
+//! Result tables: plain-text and CSV rendering.
+
+use std::fmt::Write as _;
+
+/// A cell of a result table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A text label.
+    Text(String),
+    /// A misprediction rate or similar fraction, rendered as a percentage
+    /// with two decimals.
+    Percent(f64),
+    /// A plain number.
+    Number(f64),
+    /// An integer count.
+    Count(u64),
+    /// No value (rendered as `-`).
+    Empty,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Percent(p) => format!("{:.2}%", p * 100.0),
+            Cell::Number(n) => {
+                if (n.fract()).abs() < 1e-9 {
+                    format!("{n:.0}")
+                } else {
+                    format!("{n:.3}")
+                }
+            }
+            Cell::Count(n) => n.to_string(),
+            Cell::Empty => "-".to_string(),
+        }
+    }
+
+    fn render_csv(&self) -> String {
+        match self {
+            Cell::Text(s) => {
+                if s.contains(',') || s.contains('"') {
+                    format!("\"{}\"", s.replace('"', "\"\""))
+                } else {
+                    s.clone()
+                }
+            }
+            Cell::Percent(p) => format!("{:.4}", p * 100.0),
+            Cell::Number(n) => format!("{n}"),
+            Cell::Count(n) => n.to_string(),
+            Cell::Empty => String::new(),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(n: u64) -> Self {
+        Cell::Count(n)
+    }
+}
+
+/// A titled result table, the output unit of every experiment.
+///
+/// # Example
+///
+/// ```
+/// use ibp_sim::report::{Cell, Table};
+///
+/// let mut t = Table::new("demo", ["size", "miss"]);
+/// t.push_row(vec![Cell::Count(1024), Cell::Percent(0.098)]);
+/// let text = t.to_text();
+/// assert!(text.contains("9.80%"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    #[must_use]
+    pub fn new<I, S>(title: impl Into<String>, headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The rows added so far.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header count.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header count {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders as an aligned plain-text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let rule_len = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(rule_len));
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders as CSV (headers first).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(Cell::render_csv).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("sample", ["name", "rate", "count"]);
+        t.push_row(vec![
+            Cell::from("gcc"),
+            Cell::Percent(0.657),
+            Cell::Count(42),
+        ]);
+        t.push_row(vec![Cell::from("idl"), Cell::Percent(0.024), Cell::Empty]);
+        t
+    }
+
+    #[test]
+    fn text_alignment_and_title() {
+        let text = sample().to_text();
+        assert!(text.starts_with("## sample"));
+        assert!(text.contains("65.70%"));
+        assert!(text.contains("2.40%"));
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("name,rate,count"));
+        assert_eq!(lines.next(), Some("gcc,65.7000,42"));
+        assert_eq!(lines.next(), Some("idl,2.4000,"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("q", ["a"]);
+        t.push_row(vec![Cell::from("x,y")]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.push_row(vec![Cell::Empty]);
+    }
+
+    #[test]
+    fn number_rendering() {
+        assert_eq!(Cell::Number(3.0).render(), "3");
+        assert_eq!(Cell::Number(3.25).render(), "3.250");
+        assert_eq!(Cell::Empty.render(), "-");
+        assert_eq!(Cell::Count(7).render(), "7");
+        assert_eq!(Cell::from(String::from("s")).render(), "s");
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.title(), "sample");
+        assert_eq!(t.headers().len(), 3);
+        assert_eq!(t.rows().len(), 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! The benchmark suite: traces, per-benchmark rates, group averages.
+
+use std::sync::OnceLock;
+
+use ibp_core::Predictor;
+use ibp_trace::Trace;
+use ibp_workload::{Benchmark, BenchmarkGroup};
+
+use crate::parallel::parallel_map;
+use crate::run::{simulate, RunStats};
+
+/// Default indirect-branch events per benchmark trace. Overridable with the
+/// `IBP_EVENTS` environment variable (experiments read it once at startup).
+pub(crate) fn default_events() -> u64 {
+    static EVENTS: OnceLock<u64> = OnceLock::new();
+    *EVENTS.get_or_init(|| {
+        std::env::var("IBP_EVENTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120_000)
+    })
+}
+
+/// A set of benchmark traces, generated once and reused across predictor
+/// configurations (the expensive part of a sweep is simulation, not
+/// generation, but regenerating 17 traces per configuration would still
+/// dominate small runs).
+#[derive(Debug)]
+pub struct Suite {
+    traces: Vec<(Benchmark, Trace)>,
+}
+
+impl Suite {
+    /// Generates all 17 benchmarks at the default trace length
+    /// (120k indirect branches, or `IBP_EVENTS`).
+    #[must_use]
+    pub fn new() -> Self {
+        Suite::with_benchmarks(&Benchmark::ALL)
+    }
+
+    /// Generates the given benchmarks at the default trace length.
+    #[must_use]
+    pub fn with_benchmarks(benchmarks: &[Benchmark]) -> Self {
+        Suite::with_benchmarks_and_len(benchmarks, default_events())
+    }
+
+    /// Generates the given benchmarks with `events` indirect branches each.
+    #[must_use]
+    pub fn with_benchmarks_and_len(benchmarks: &[Benchmark], events: u64) -> Self {
+        let traces = parallel_map(benchmarks, |&b| (b, b.trace_with_len(events)));
+        Suite { traces }
+    }
+
+    /// All benchmarks in the suite, in construction order.
+    #[must_use]
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        self.traces.iter().map(|(b, _)| *b).collect()
+    }
+
+    /// The trace for a benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark is not part of this suite.
+    #[must_use]
+    pub fn trace(&self, benchmark: Benchmark) -> &Trace {
+        &self
+            .traces
+            .iter()
+            .find(|(b, _)| *b == benchmark)
+            .unwrap_or_else(|| panic!("benchmark {benchmark} not in suite"))
+            .1
+    }
+
+    /// Runs a fresh predictor (from `make`) over every benchmark, in
+    /// parallel.
+    #[must_use]
+    pub fn run<F>(&self, make: F) -> SuiteResult
+    where
+        F: Fn() -> Box<dyn Predictor> + Sync,
+    {
+        let rates = parallel_map(&self.traces, |(b, trace)| {
+            let mut p = make();
+            (*b, simulate(trace, p.as_mut()))
+        });
+        SuiteResult { runs: rates }
+    }
+}
+
+impl Default for Suite {
+    fn default() -> Self {
+        Suite::new()
+    }
+}
+
+/// Per-benchmark results of one predictor configuration over a [`Suite`].
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    runs: Vec<(Benchmark, RunStats)>,
+}
+
+impl SuiteResult {
+    /// The run statistics for one benchmark, if it was part of the suite.
+    #[must_use]
+    pub fn stats(&self, benchmark: Benchmark) -> Option<RunStats> {
+        self.runs
+            .iter()
+            .find(|(b, _)| *b == benchmark)
+            .map(|(_, r)| *r)
+    }
+
+    /// The misprediction rate for one benchmark, if present.
+    #[must_use]
+    pub fn rate(&self, benchmark: Benchmark) -> Option<f64> {
+        self.stats(benchmark).map(|r| r.misprediction_rate())
+    }
+
+    /// All `(benchmark, misprediction rate)` pairs in suite order.
+    #[must_use]
+    pub fn rates(&self) -> Vec<(Benchmark, f64)> {
+        self.runs
+            .iter()
+            .map(|(b, r)| (*b, r.misprediction_rate()))
+            .collect()
+    }
+
+    /// The paper's group average: the arithmetic mean of per-benchmark
+    /// misprediction rates over the group members present in this suite.
+    /// `None` when no member is present.
+    #[must_use]
+    pub fn group_rate(&self, group: BenchmarkGroup) -> Option<f64> {
+        let rates: Vec<f64> = self
+            .runs
+            .iter()
+            .filter(|(b, _)| group.contains(*b))
+            .map(|(_, r)| r.misprediction_rate())
+            .collect();
+        if rates.is_empty() {
+            None
+        } else {
+            Some(rates.iter().sum::<f64>() / rates.len() as f64)
+        }
+    }
+
+    /// Shorthand for the headline `AVG` group rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `AVG` member is present in the suite.
+    #[must_use]
+    pub fn avg(&self) -> f64 {
+        self.group_rate(BenchmarkGroup::Avg)
+            .expect("AVG members present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_core::PredictorConfig;
+
+    fn tiny_suite() -> Suite {
+        Suite::with_benchmarks_and_len(&[Benchmark::Ixx, Benchmark::Xlisp], 5_000)
+    }
+
+    #[test]
+    fn suite_holds_requested_benchmarks() {
+        let s = tiny_suite();
+        assert_eq!(s.benchmarks(), vec![Benchmark::Ixx, Benchmark::Xlisp]);
+        assert_eq!(s.trace(Benchmark::Ixx).indirect_count(), 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in suite")]
+    fn missing_benchmark_panics() {
+        let s = tiny_suite();
+        let _ = s.trace(Benchmark::Gcc);
+    }
+
+    #[test]
+    fn run_reports_all_benchmarks() {
+        let s = tiny_suite();
+        let r = s.run(|| PredictorConfig::btb_2bc().build());
+        assert!(r.rate(Benchmark::Ixx).is_some());
+        assert!(r.rate(Benchmark::Xlisp).is_some());
+        assert!(r.rate(Benchmark::Gcc).is_none());
+        assert_eq!(r.rates().len(), 2);
+    }
+
+    #[test]
+    fn group_rate_averages_members() {
+        let s = tiny_suite();
+        let r = s.run(|| PredictorConfig::btb_2bc().build());
+        // Both benchmarks are AVG members; the group rate is their mean.
+        let avg = r.group_rate(BenchmarkGroup::Avg).unwrap();
+        let expect = (r.rate(Benchmark::Ixx).unwrap() + r.rate(Benchmark::Xlisp).unwrap()) / 2.0;
+        assert!((avg - expect).abs() < 1e-12);
+        assert!((r.avg() - expect).abs() < 1e-12);
+        // No infrequent benchmark present.
+        assert!(r.group_rate(BenchmarkGroup::AvgInfreq).is_none());
+    }
+
+    #[test]
+    fn two_level_beats_btb_on_suite() {
+        let s = tiny_suite();
+        let btb = s.run(|| PredictorConfig::btb_2bc().build());
+        let tl = s.run(|| PredictorConfig::unconstrained(4).build());
+        assert!(tl.avg() < btb.avg(), "{} vs {}", tl.avg(), btb.avg());
+    }
+}

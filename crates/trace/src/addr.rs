@@ -1,0 +1,257 @@
+//! Code addresses.
+
+use std::fmt;
+
+/// A 32-bit, word-aligned code address.
+///
+/// The paper targets 32-bit SPARC, where instructions are word-aligned, so
+/// the two least-significant bits of every branch and target address are
+/// zero. Predictors therefore never look at bits 0–1; pattern compression
+/// starts at bit 2 (the paper's parameter `a = 2`).
+///
+/// `Addr` keeps that invariant: the wrapped value always has bits 0–1 clear.
+///
+/// # Example
+///
+/// ```
+/// use ibp_trace::Addr;
+///
+/// let a = Addr::new(0x0001_0040);
+/// assert_eq!(a.word(), 0x0001_0040 >> 2);
+/// assert_eq!(a.bits(2, 4), 0x0001_0040 >> 2 & 0xF);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u32);
+
+/// Error returned by [`Addr::try_new`] for addresses that are not
+/// word-aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnalignedAddrError(
+    /// The offending raw address.
+    pub u32,
+);
+
+impl fmt::Display for UnalignedAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "address {:#010x} is not word-aligned", self.0)
+    }
+}
+
+impl std::error::Error for UnalignedAddrError {}
+
+impl Addr {
+    /// The all-zero address; used as a sentinel "no target" in empty history
+    /// slots (the paper's predictors treat an empty history position as the
+    /// zero pattern).
+    pub const ZERO: Addr = Addr(0);
+
+    /// Creates a word-aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` has either of its two low bits set. Use
+    /// [`Addr::try_new`] for fallible construction or
+    /// [`Addr::from_word`] to build from a word index.
+    #[must_use]
+    pub fn new(raw: u32) -> Self {
+        assert!(raw & 0b11 == 0, "address {raw:#010x} is not word-aligned");
+        Addr(raw)
+    }
+
+    /// Creates a word-aligned address, rejecting unaligned input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnalignedAddrError`] if `raw` is not a multiple of 4.
+    pub fn try_new(raw: u32) -> Result<Self, UnalignedAddrError> {
+        if raw & 0b11 == 0 {
+            Ok(Addr(raw))
+        } else {
+            Err(UnalignedAddrError(raw))
+        }
+    }
+
+    /// Creates an address from a word index (`word * 4`).
+    ///
+    /// The two high bits of `word` are discarded so the result always fits
+    /// in 32 bits.
+    #[must_use]
+    pub fn from_word(word: u32) -> Self {
+        Addr(word.wrapping_shl(2))
+    }
+
+    /// The raw 32-bit address.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The word index: the address with its (always-zero) alignment bits
+    /// stripped, i.e. `raw >> 2`. This is the 30-bit quantity predictors
+    /// actually key on.
+    #[must_use]
+    pub fn word(self) -> u32 {
+        self.0 >> 2
+    }
+
+    /// Extracts `count` bits starting at bit `lo` of the raw address.
+    ///
+    /// `bits(2, b)` is the paper's partial-address selection `[a..a+b-1]`
+    /// with `a = 2`. `count == 0` yields `0`; `count >= 32` yields all bits
+    /// from `lo` up.
+    #[must_use]
+    pub fn bits(self, lo: u32, count: u32) -> u32 {
+        if count == 0 {
+            return 0;
+        }
+        let shifted = self.0.checked_shr(lo).unwrap_or(0);
+        if count >= 32 {
+            shifted
+        } else {
+            shifted & ((1u32 << count) - 1)
+        }
+    }
+
+    /// The set identifier under the paper's sharing parameter: all addresses
+    /// with identical bits `s..31` belong to one set (§3.2.1/§3.2.2).
+    ///
+    /// `s = 31` maps every user-space address to set 0 (fully shared /
+    /// global); `s = 2` gives one set per branch site.
+    #[must_use]
+    pub fn set_id(self, s: u32) -> u32 {
+        self.0.checked_shr(s).unwrap_or(0)
+    }
+
+    /// Returns the address offset by `words` machine words.
+    #[must_use]
+    pub fn offset_words(self, words: i32) -> Self {
+        Addr(self.0.wrapping_add((words as u32).wrapping_shl(2)))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<Addr> for u32 {
+    fn from(a: Addr) -> u32 {
+        a.raw()
+    }
+}
+
+impl TryFrom<u32> for Addr {
+    type Error = UnalignedAddrError;
+
+    fn try_from(raw: u32) -> Result<Self, Self::Error> {
+        Addr::try_new(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_aligned() {
+        assert_eq!(Addr::new(0).raw(), 0);
+        assert_eq!(Addr::new(4).raw(), 4);
+        assert_eq!(Addr::new(0xFFFF_FFFC).raw(), 0xFFFF_FFFC);
+    }
+
+    #[test]
+    #[should_panic(expected = "not word-aligned")]
+    fn new_rejects_unaligned() {
+        let _ = Addr::new(2);
+    }
+
+    #[test]
+    fn try_new_rejects_unaligned() {
+        assert_eq!(Addr::try_new(3), Err(UnalignedAddrError(3)));
+        assert_eq!(Addr::try_new(8), Ok(Addr::new(8)));
+    }
+
+    #[test]
+    fn word_strips_alignment_bits() {
+        assert_eq!(Addr::new(0x40).word(), 0x10);
+        assert_eq!(Addr::from_word(0x10).raw(), 0x40);
+    }
+
+    #[test]
+    fn from_word_wraps_high_bits() {
+        // A word index with high bits set still produces a valid Addr.
+        let a = Addr::from_word(u32::MAX);
+        assert_eq!(a.raw() & 0b11, 0);
+    }
+
+    #[test]
+    fn bits_selects_partial_address() {
+        let a = Addr::new(0b1011_0100);
+        assert_eq!(a.bits(2, 3), 0b101);
+        assert_eq!(a.bits(2, 0), 0);
+        assert_eq!(a.bits(0, 32), a.raw());
+        assert_eq!(a.bits(31, 4), a.raw() >> 31);
+    }
+
+    #[test]
+    fn bits_shift_out_of_range_is_zero() {
+        assert_eq!(Addr::new(0xFFFF_FFFC).bits(32, 8), 0);
+        assert_eq!(Addr::new(0xFFFF_FFFC).bits(40, 8), 0);
+    }
+
+    #[test]
+    fn set_id_matches_paper_semantics() {
+        let a = Addr::new(0x0001_0040);
+        // s = 2: per-branch (word granularity).
+        assert_eq!(a.set_id(2), a.word());
+        // s = 31: global.
+        assert_eq!(a.set_id(31), 0);
+        // s = 9: 512-byte regions.
+        let b = Addr::new(0x0001_01C0);
+        assert_eq!(a.set_id(9), b.set_id(9));
+        let c = Addr::new(0x0001_0240);
+        assert_ne!(a.set_id(9), c.set_id(9));
+        // Out-of-range shift saturates to "everything shared".
+        assert_eq!(a.set_id(32), 0);
+    }
+
+    #[test]
+    fn offset_words_moves_by_instructions() {
+        let a = Addr::new(0x1000);
+        assert_eq!(a.offset_words(1).raw(), 0x1004);
+        assert_eq!(a.offset_words(-1).raw(), 0x0FFC);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x00000040");
+        assert_eq!(format!("{:x}", Addr::new(0x40)), "40");
+        assert_eq!(format!("{:b}", Addr::new(0b100)), "100");
+    }
+
+    #[test]
+    fn error_display_is_lowercase_no_punctuation() {
+        let msg = UnalignedAddrError(7).to_string();
+        assert!(msg.starts_with("address"));
+        assert!(!msg.ends_with('.'));
+    }
+}

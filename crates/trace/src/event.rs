@@ -1,0 +1,178 @@
+//! Dynamic branch events.
+
+use std::fmt;
+
+use crate::Addr;
+
+/// The source-level construct an indirect branch implements.
+///
+/// The paper's benchmark tables distinguish virtual function calls from other
+/// indirect branches (function-pointer calls, `switch` jump tables); the
+/// workload generator tags each site accordingly so the "% virtual" column of
+/// Table 1 can be regenerated. Procedure returns are excluded from traces
+/// entirely, as in the paper (they are served by a return-address stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BranchKind {
+    /// A virtual function call dispatched through a vtable.
+    VirtualCall,
+    /// An indirect call through a function pointer.
+    FnPointer,
+    /// An indirect jump implementing a `switch` statement.
+    Switch,
+}
+
+impl BranchKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [BranchKind; 3] = [
+        BranchKind::VirtualCall,
+        BranchKind::FnPointer,
+        BranchKind::Switch,
+    ];
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::VirtualCall => "virtual call",
+            BranchKind::FnPointer => "fn pointer",
+            BranchKind::Switch => "switch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic execution of an indirect branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndirectBranch {
+    /// Address of the branch instruction (the *site*).
+    pub pc: Addr,
+    /// Address control transferred to.
+    pub target: Addr,
+    /// What kind of construct the site implements.
+    pub kind: BranchKind,
+}
+
+/// One dynamic execution of a conditional direct branch.
+///
+/// Conditional branches are not predicted by this crate's predictors; they
+/// appear in traces only so that (a) the cond/indirect ratio of the paper's
+/// benchmark tables can be measured and (b) the §3.3 variation — polluting
+/// the indirect history with conditional targets — can be simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CondBranch {
+    /// Address of the branch instruction.
+    pub pc: Addr,
+    /// Branch target if taken (fall-through address otherwise).
+    pub target: Addr,
+    /// Whether the branch was taken.
+    pub taken: bool,
+}
+
+impl CondBranch {
+    /// The address execution continued at: `target` when taken, the
+    /// fall-through (next word) otherwise.
+    #[must_use]
+    pub fn outcome(&self) -> Addr {
+        if self.taken {
+            self.target
+        } else {
+            self.pc.offset_words(1)
+        }
+    }
+}
+
+/// A single event in a program trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// An indirect branch execution — the events predictors are measured on.
+    Indirect(IndirectBranch),
+    /// A conditional branch execution — context only (§3.3).
+    Cond(CondBranch),
+}
+
+impl TraceEvent {
+    /// The indirect branch, if this event is one.
+    #[must_use]
+    pub fn as_indirect(&self) -> Option<&IndirectBranch> {
+        match self {
+            TraceEvent::Indirect(b) => Some(b),
+            TraceEvent::Cond(_) => None,
+        }
+    }
+
+    /// The conditional branch, if this event is one.
+    #[must_use]
+    pub fn as_cond(&self) -> Option<&CondBranch> {
+        match self {
+            TraceEvent::Cond(b) => Some(b),
+            TraceEvent::Indirect(_) => None,
+        }
+    }
+
+    /// The site address of the event, whatever its kind.
+    #[must_use]
+    pub fn pc(&self) -> Addr {
+        match self {
+            TraceEvent::Indirect(b) => b.pc,
+            TraceEvent::Cond(b) => b.pc,
+        }
+    }
+}
+
+impl From<IndirectBranch> for TraceEvent {
+    fn from(b: IndirectBranch) -> Self {
+        TraceEvent::Indirect(b)
+    }
+}
+
+impl From<CondBranch> for TraceEvent {
+    fn from(b: CondBranch) -> Self {
+        TraceEvent::Cond(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_outcome_taken_vs_not() {
+        let b = CondBranch {
+            pc: Addr::new(0x100),
+            target: Addr::new(0x200),
+            taken: true,
+        };
+        assert_eq!(b.outcome(), Addr::new(0x200));
+        let nt = CondBranch { taken: false, ..b };
+        assert_eq!(nt.outcome(), Addr::new(0x104));
+    }
+
+    #[test]
+    fn event_accessors() {
+        let ib = IndirectBranch {
+            pc: Addr::new(0x100),
+            target: Addr::new(0x200),
+            kind: BranchKind::Switch,
+        };
+        let e = TraceEvent::from(ib);
+        assert_eq!(e.as_indirect(), Some(&ib));
+        assert_eq!(e.as_cond(), None);
+        assert_eq!(e.pc(), Addr::new(0x100));
+
+        let cb = CondBranch {
+            pc: Addr::new(0x300),
+            target: Addr::new(0x400),
+            taken: false,
+        };
+        let e = TraceEvent::from(cb);
+        assert_eq!(e.as_cond(), Some(&cb));
+        assert_eq!(e.as_indirect(), None);
+        assert_eq!(e.pc(), Addr::new(0x300));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(BranchKind::VirtualCall.to_string(), "virtual call");
+        assert_eq!(BranchKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,384 @@
+//! Trace serialization: a simple portable format for branch traces.
+//!
+//! The original study consumed traces produced by the *shade* simulator.
+//! This module provides the equivalent bridge for this reproduction: any
+//! tool that can observe a program's indirect branches (Pin, DynamoRIO,
+//! QEMU plugins, gem5, ChampSim converters, …) can emit the **IBPT** text
+//! format below and be fed straight into the simulator — and traces
+//! generated here can be exported for other tools.
+//!
+//! # Text format (`.ibpt`)
+//!
+//! Line oriented, `#` comments, whitespace separated:
+//!
+//! ```text
+//! ibpt 1                     # magic + version
+//! name gcc                   # optional trace name
+//! instr 176                  # optional: plain instructions before next event
+//! i 0x10a4 0x89f0 v          # indirect branch: pc target kind(v|f|s)
+//! c 0x10c8 0x1100 t          # conditional branch: pc target taken(t|n)
+//! csum 30                    # summarised conditional branches (count only)
+//! ```
+//!
+//! Addresses are hex (with or without `0x`) and must be word-aligned.
+//!
+//! # Example
+//!
+//! ```
+//! use ibp_trace::{Addr, BranchKind, Trace};
+//! use ibp_trace::io::{read_text, write_text};
+//!
+//! let mut t = Trace::new("demo");
+//! t.record_instructions(46);
+//! t.push_indirect(Addr::new(0x1000), Addr::new(0x2000), BranchKind::VirtualCall);
+//!
+//! let mut buf = Vec::new();
+//! write_text(&t, &mut buf)?;
+//! let back = read_text(&buf[..])?;
+//! assert_eq!(back.indirect_count(), 1);
+//! assert_eq!(back.instructions(), t.instructions());
+//! # Ok::<(), ibp_trace::io::TraceIoError>(())
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::{Addr, BranchKind, Trace};
+
+/// Error reading or writing a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The input is not valid IBPT: line number and message.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn parse_error(line: usize, message: impl Into<String>) -> TraceIoError {
+    TraceIoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_addr(token: &str, line: usize) -> Result<Addr, TraceIoError> {
+    let digits = token.strip_prefix("0x").unwrap_or(token);
+    let raw = u32::from_str_radix(digits, 16)
+        .map_err(|_| parse_error(line, format!("bad address {token:?}")))?;
+    Addr::try_new(raw).map_err(|e| parse_error(line, e.to_string()))
+}
+
+fn kind_code(kind: BranchKind) -> char {
+    match kind {
+        BranchKind::VirtualCall => 'v',
+        BranchKind::FnPointer => 'f',
+        BranchKind::Switch => 's',
+    }
+}
+
+fn parse_kind(token: &str, line: usize) -> Result<BranchKind, TraceIoError> {
+    match token {
+        "v" => Ok(BranchKind::VirtualCall),
+        "f" => Ok(BranchKind::FnPointer),
+        "s" => Ok(BranchKind::Switch),
+        other => Err(parse_error(line, format!("bad branch kind {other:?}"))),
+    }
+}
+
+/// Writes a trace in IBPT text format.
+///
+/// The writer receives a `W: Write` by value; pass `&mut writer` to keep
+/// using it afterwards.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_text<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceIoError> {
+    let mut w = io::BufWriter::new(writer);
+    writeln!(w, "ibpt 1")?;
+    if !trace.name().is_empty() {
+        writeln!(w, "name {}", trace.name())?;
+    }
+    // Reconstruct instruction gaps: total instructions minus the branch
+    // events themselves, front-loaded as one `instr` record (gap structure
+    // between events is not semantically meaningful to the predictors).
+    let events = trace.len() as u64;
+    let cond_summarised = {
+        let materialised = trace
+            .events()
+            .iter()
+            .filter(|e| e.as_cond().is_some())
+            .count() as u64;
+        trace.cond_count() - materialised
+    };
+    let plain = trace.instructions() - events - cond_summarised;
+    if plain > 0 {
+        writeln!(w, "instr {plain}")?;
+    }
+    if cond_summarised > 0 {
+        writeln!(w, "csum {cond_summarised}")?;
+    }
+    for event in trace.events() {
+        match event {
+            crate::TraceEvent::Indirect(b) => writeln!(
+                w,
+                "i {:#x} {:#x} {}",
+                b.pc.raw(),
+                b.target.raw(),
+                kind_code(b.kind)
+            )?,
+            crate::TraceEvent::Cond(b) => writeln!(
+                w,
+                "c {:#x} {:#x} {}",
+                b.pc.raw(),
+                b.target.raw(),
+                if b.taken { 't' } else { 'n' }
+            )?,
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a trace in IBPT text format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] on malformed input (with the line
+/// number) and [`TraceIoError::Io`] on read failures.
+pub fn read_text<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
+    let mut trace = Trace::new("");
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+
+    // Header.
+    let header = loop {
+        line_no += 1;
+        match lines.next() {
+            None => return Err(parse_error(line_no, "empty input, expected `ibpt 1`")),
+            Some(l) => {
+                let l = l?;
+                let t = l.trim();
+                if !t.is_empty() && !t.starts_with('#') {
+                    break t.to_string();
+                }
+            }
+        }
+    };
+    if header != "ibpt 1" {
+        return Err(parse_error(
+            line_no,
+            format!("expected header `ibpt 1`, found {header:?}"),
+        ));
+    }
+
+    for l in lines {
+        line_no += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        // Strip trailing comment.
+        let t = t.split('#').next().unwrap_or("").trim();
+        if t.is_empty() {
+            continue;
+        }
+        let mut tok = t.split_whitespace();
+        let tag = tok.next().expect("non-empty line");
+        let mut need = |what: &str| {
+            tok.next()
+                .ok_or_else(|| parse_error(line_no, format!("missing {what}")))
+        };
+        match tag {
+            "name" => {
+                let name = need("name")?.to_string();
+                trace = rename(trace, name);
+            }
+            "instr" => {
+                let n: u64 = need("count")?
+                    .parse()
+                    .map_err(|_| parse_error(line_no, "bad instruction count"))?;
+                trace.record_instructions(n);
+            }
+            "csum" => {
+                let n: u64 = need("count")?
+                    .parse()
+                    .map_err(|_| parse_error(line_no, "bad csum count"))?;
+                trace.record_cond_summary(n);
+            }
+            "i" => {
+                let pc = parse_addr(need("pc")?, line_no)?;
+                let target = parse_addr(need("target")?, line_no)?;
+                let kind = parse_kind(need("kind")?, line_no)?;
+                trace.push_indirect(pc, target, kind);
+            }
+            "c" => {
+                let pc = parse_addr(need("pc")?, line_no)?;
+                let target = parse_addr(need("target")?, line_no)?;
+                let taken = match need("taken flag")? {
+                    "t" => true,
+                    "n" => false,
+                    other => return Err(parse_error(line_no, format!("bad taken flag {other:?}"))),
+                };
+                trace.push_cond(pc, target, taken);
+            }
+            other => return Err(parse_error(line_no, format!("unknown record {other:?}"))),
+        }
+    }
+    Ok(trace)
+}
+
+// Trace names are fixed at construction; rebuilding preserves counters by
+// replay. Cheap relative to file I/O and keeps `Trace`'s invariants in one
+// place.
+fn rename(old: Trace, name: String) -> Trace {
+    let materialised_cond = old
+        .events()
+        .iter()
+        .filter(|e| e.as_cond().is_some())
+        .count() as u64;
+    let summarised_cond = old.cond_count() - materialised_cond;
+    let plain = old.instructions() - old.len() as u64 - summarised_cond;
+    let mut t = Trace::with_capacity(name, old.len());
+    t.record_instructions(plain);
+    t.record_cond_summary(summarised_cond);
+    t.extend(old.events().iter().copied());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("sample");
+        t.record_instructions(100);
+        t.push_indirect(
+            Addr::new(0x1000),
+            Addr::new(0x2000),
+            BranchKind::VirtualCall,
+        );
+        t.push_cond(Addr::new(0x1010), Addr::new(0x1100), true);
+        t.push_cond(Addr::new(0x1014), Addr::new(0x1200), false);
+        t.push_indirect(Addr::new(0x1020), Addr::new(0x2040), BranchKind::Switch);
+        t.record_cond_summary(7);
+        t
+    }
+
+    fn round_trip(t: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_text(t, &mut buf).expect("write");
+        read_text(&buf[..]).expect("read")
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let back = round_trip(&t);
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.events(), t.events());
+        assert_eq!(back.indirect_count(), t.indirect_count());
+        assert_eq!(back.cond_count(), t.cond_count());
+        assert_eq!(back.instructions(), t.instructions());
+    }
+
+    #[test]
+    fn parses_hand_written_input() {
+        let text = "\
+# a comment
+ibpt 1
+name toy
+instr 40
+i 0x100 0x900 v   # with trailing comment
+c 104 200 t
+i 0x108 0xa00 s
+csum 3
+";
+        let t = read_text(text.as_bytes()).expect("parse");
+        assert_eq!(t.name(), "toy");
+        assert_eq!(t.indirect_count(), 2);
+        assert_eq!(t.cond_count(), 4); // 1 materialised + 3 summarised
+        assert_eq!(t.instructions(), 40 + 3 + 3);
+        let first = t.indirect().next().unwrap();
+        assert_eq!(first.pc, Addr::new(0x100));
+        assert_eq!(first.kind, BranchKind::VirtualCall);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_text("nope 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let err = read_text("".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("empty input"));
+    }
+
+    #[test]
+    fn rejects_unaligned_address_with_line_number() {
+        let err = read_text("ibpt 1\ni 0x101 0x900 v\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("align"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_unknown_record_and_bad_kind() {
+        assert!(read_text("ibpt 1\nx 1 2 3\n".as_bytes()).is_err());
+        assert!(read_text("ibpt 1\ni 0x100 0x200 q\n".as_bytes()).is_err());
+        assert!(read_text("ibpt 1\nc 0x100 0x200 x\n".as_bytes()).is_err());
+        assert!(read_text("ibpt 1\ni 0x100\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in BranchKind::ALL {
+            let mut t = Trace::new("k");
+            t.push_indirect(Addr::new(0x10), Addr::new(0x20), kind);
+            let back = round_trip(&t);
+            assert_eq!(back.indirect().next().unwrap().kind, kind);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error_with_source() {
+        let io_err: TraceIoError = io::Error::other("boom").into();
+        assert!(std::error::Error::source(&io_err).is_some());
+        let parse = parse_error(3, "x");
+        assert!(std::error::Error::source(&parse).is_none());
+    }
+}

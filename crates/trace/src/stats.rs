@@ -1,0 +1,297 @@
+//! Trace statistics matching the paper's benchmark tables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Addr, BranchKind, Trace};
+
+/// Coverage thresholds used by the "active branch sites" columns of the
+/// paper's Tables 1–2: the number of sites responsible for 90 %, 95 %, 99 %
+/// and 100 % of dynamic indirect branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoverageLevel {
+    /// 90 % of dynamic executions.
+    P90,
+    /// 95 % of dynamic executions.
+    P95,
+    /// 99 % of dynamic executions.
+    P99,
+    /// All executions.
+    P100,
+}
+
+impl CoverageLevel {
+    /// All levels in table order.
+    pub const ALL: [CoverageLevel; 4] = [
+        CoverageLevel::P90,
+        CoverageLevel::P95,
+        CoverageLevel::P99,
+        CoverageLevel::P100,
+    ];
+
+    /// The threshold as a fraction in `(0, 1]`.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        match self {
+            CoverageLevel::P90 => 0.90,
+            CoverageLevel::P95 => 0.95,
+            CoverageLevel::P99 => 0.99,
+            CoverageLevel::P100 => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for CoverageLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CoverageLevel::P90 => "90%",
+            CoverageLevel::P95 => "95%",
+            CoverageLevel::P99 => "99%",
+            CoverageLevel::P100 => "100%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-site dynamic statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    /// The site address.
+    pub pc: Addr,
+    /// The construct kind of the site.
+    pub kind: BranchKind,
+    /// Dynamic executions of the site.
+    pub executions: u64,
+    /// Number of distinct targets observed.
+    pub distinct_targets: usize,
+    /// Executions of the single most frequent target.
+    pub dominant_target_executions: u64,
+}
+
+impl SiteStats {
+    /// Whether the site only ever branched to one target.
+    #[must_use]
+    pub fn is_monomorphic(&self) -> bool {
+        self.distinct_targets <= 1
+    }
+
+    /// Fraction of executions going to the most frequent target. This bounds
+    /// from above what a degenerate "always predict the commonest target"
+    /// profile-based scheme could achieve at this site.
+    #[must_use]
+    pub fn dominant_share(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.dominant_target_executions as f64 / self.executions as f64
+        }
+    }
+}
+
+/// Aggregate statistics for a whole trace — everything the paper's benchmark
+/// tables (Tables 1 and 2) report, regenerable via the `table1_2` runner.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Dynamic indirect-branch executions.
+    pub indirect_branches: u64,
+    /// Instructions per indirect branch.
+    pub instructions_per_indirect: f64,
+    /// Conditional branches per indirect branch.
+    pub cond_per_indirect: f64,
+    /// Fraction of dynamic indirect branches that are virtual calls
+    /// (Table 1's "virt. func." column).
+    pub virtual_fraction: f64,
+    /// Number of distinct indirect-branch sites.
+    pub distinct_sites: usize,
+    /// Per-site statistics, sorted by descending execution count.
+    pub sites: Vec<SiteStats>,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    #[must_use]
+    pub fn compute(trace: &Trace) -> Self {
+        struct Acc {
+            kind: BranchKind,
+            executions: u64,
+            targets: HashMap<Addr, u64>,
+        }
+        let mut per_site: HashMap<Addr, Acc> = HashMap::new();
+        let mut virtual_execs = 0u64;
+        for b in trace.indirect() {
+            if b.kind == BranchKind::VirtualCall {
+                virtual_execs += 1;
+            }
+            let acc = per_site.entry(b.pc).or_insert_with(|| Acc {
+                kind: b.kind,
+                executions: 0,
+                targets: HashMap::new(),
+            });
+            acc.executions += 1;
+            *acc.targets.entry(b.target).or_insert(0) += 1;
+        }
+
+        let mut sites: Vec<SiteStats> = per_site
+            .into_iter()
+            .map(|(pc, acc)| SiteStats {
+                pc,
+                kind: acc.kind,
+                executions: acc.executions,
+                distinct_targets: acc.targets.len(),
+                dominant_target_executions: acc.targets.values().copied().max().unwrap_or(0),
+            })
+            .collect();
+        sites.sort_by(|a, b| b.executions.cmp(&a.executions).then(a.pc.cmp(&b.pc)));
+
+        let total = trace.indirect_count();
+        TraceStats {
+            indirect_branches: total,
+            instructions_per_indirect: trace.instructions_per_indirect(),
+            cond_per_indirect: trace.cond_per_indirect(),
+            virtual_fraction: if total == 0 {
+                0.0
+            } else {
+                virtual_execs as f64 / total as f64
+            },
+            distinct_sites: sites.len(),
+            sites,
+        }
+    }
+
+    /// The number of sites needed to cover the given fraction of dynamic
+    /// executions (the "active branch sites" columns of Tables 1–2).
+    ///
+    /// Sites are considered most-frequent first; the count is the smallest
+    /// prefix whose executions reach `level`.
+    #[must_use]
+    pub fn active_sites(&self, level: CoverageLevel) -> usize {
+        let total: u64 = self.indirect_branches;
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (level.fraction() * total as f64).ceil() as u64;
+        let mut covered = 0u64;
+        for (i, s) in self.sites.iter().enumerate() {
+            covered += s.executions;
+            if covered >= threshold {
+                return i + 1;
+            }
+        }
+        self.sites.len()
+    }
+
+    /// Fraction of *sites* that are polymorphic (≥ 2 observed targets).
+    #[must_use]
+    pub fn polymorphic_site_fraction(&self) -> f64 {
+        if self.sites.is_empty() {
+            return 0.0;
+        }
+        let poly = self.sites.iter().filter(|s| !s.is_monomorphic()).count();
+        poly as f64 / self.sites.len() as f64
+    }
+
+    /// Dynamic-execution-weighted mean of the per-site dominant-target share.
+    ///
+    /// `1 -` this value approximates the best case misprediction rate of a
+    /// static profile-based predictor, a useful sanity bound when calibrating
+    /// workloads against the paper's BTB numbers.
+    #[must_use]
+    pub fn weighted_dominant_share(&self) -> f64 {
+        if self.indirect_branches == 0 {
+            return 0.0;
+        }
+        let dom: u64 = self
+            .sites
+            .iter()
+            .map(|s| s.dominant_target_executions)
+            .sum();
+        dom as f64 / self.indirect_branches as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(pc: u32) -> Addr {
+        Addr::new(pc)
+    }
+
+    fn trace_with_counts(counts: &[(u32, &[(u32, u64)])]) -> Trace {
+        let mut t = Trace::new("t");
+        for &(pc, targets) in counts {
+            for &(target, n) in targets {
+                for _ in 0..n {
+                    t.push_indirect(site(pc), site(target), BranchKind::VirtualCall);
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn active_sites_counts_prefix() {
+        // Site A: 90 execs, site B: 9, site C: 1.
+        let t = trace_with_counts(&[
+            (0x10, &[(0x100, 90)]),
+            (0x20, &[(0x200, 9)]),
+            (0x30, &[(0x300, 1)]),
+        ]);
+        let s = t.stats();
+        assert_eq!(s.active_sites(CoverageLevel::P90), 1);
+        assert_eq!(s.active_sites(CoverageLevel::P95), 2);
+        assert_eq!(s.active_sites(CoverageLevel::P99), 2);
+        assert_eq!(s.active_sites(CoverageLevel::P100), 3);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = Trace::new("e").stats();
+        assert_eq!(s.indirect_branches, 0);
+        assert_eq!(s.distinct_sites, 0);
+        assert_eq!(s.active_sites(CoverageLevel::P90), 0);
+        assert_eq!(s.polymorphic_site_fraction(), 0.0);
+        assert_eq!(s.weighted_dominant_share(), 0.0);
+    }
+
+    #[test]
+    fn polymorphism_and_dominance() {
+        // Site A monomorphic (10 execs), site B 2 targets 6/4.
+        let t = trace_with_counts(&[(0x10, &[(0x100, 10)]), (0x20, &[(0x200, 6), (0x240, 4)])]);
+        let s = t.stats();
+        assert_eq!(s.distinct_sites, 2);
+        assert!((s.polymorphic_site_fraction() - 0.5).abs() < 1e-12);
+        // dominant: 10 + 6 of 20 total.
+        assert!((s.weighted_dominant_share() - 0.8).abs() < 1e-12);
+        let b = s.sites.iter().find(|x| x.pc == site(0x20)).unwrap();
+        assert_eq!(b.distinct_targets, 2);
+        assert!((b.dominant_share() - 0.6).abs() < 1e-12);
+        assert!(!b.is_monomorphic());
+    }
+
+    #[test]
+    fn virtual_fraction_counts_kinds() {
+        let mut t = Trace::new("k");
+        t.push_indirect(site(0x10), site(0x100), BranchKind::VirtualCall);
+        t.push_indirect(site(0x14), site(0x100), BranchKind::Switch);
+        t.push_indirect(site(0x18), site(0x100), BranchKind::VirtualCall);
+        t.push_indirect(site(0x1C), site(0x100), BranchKind::FnPointer);
+        let s = t.stats();
+        assert!((s.virtual_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sites_sorted_by_frequency() {
+        let t = trace_with_counts(&[(0x10, &[(0x100, 1)]), (0x20, &[(0x200, 5)])]);
+        let s = t.stats();
+        assert_eq!(s.sites[0].pc, site(0x20));
+        assert_eq!(s.sites[1].pc, site(0x10));
+    }
+
+    #[test]
+    fn coverage_level_metadata() {
+        assert_eq!(CoverageLevel::ALL.len(), 4);
+        assert_eq!(CoverageLevel::P95.to_string(), "95%");
+        assert!((CoverageLevel::P99.fraction() - 0.99).abs() < 1e-12);
+    }
+}

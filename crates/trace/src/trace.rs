@@ -1,0 +1,286 @@
+//! Whole-program traces.
+
+use crate::{Addr, BranchKind, CondBranch, IndirectBranch, TraceEvent, TraceStats};
+
+/// An ordered record of a program's branch behaviour.
+///
+/// A trace holds every indirect-branch execution (the unit predictors are
+/// scored on), optionally interleaved conditional-branch executions, and a
+/// running instruction count used to compute the instructions-per-indirect
+/// ratio reported in the paper's Tables 1–2.
+///
+/// # Example
+///
+/// ```
+/// use ibp_trace::{Addr, BranchKind, Trace};
+///
+/// let mut t = Trace::new("demo");
+/// t.record_instructions(10);
+/// t.push_indirect(Addr::new(0x100), Addr::new(0x900), BranchKind::Switch);
+/// assert_eq!(t.indirect_count(), 1);
+/// // 10 recorded plus the branch instruction itself.
+/// assert_eq!(t.instructions(), 11);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    name: String,
+    events: Vec<TraceEvent>,
+    instructions: u64,
+    indirect_count: u64,
+    cond_count: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given name (e.g. a benchmark name).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            ..Trace::default()
+        }
+    }
+
+    /// Creates an empty trace with pre-allocated space for `events`.
+    #[must_use]
+    pub fn with_capacity(name: impl Into<String>, events: usize) -> Self {
+        Trace {
+            name: name.into(),
+            events: Vec::with_capacity(events),
+            ..Trace::default()
+        }
+    }
+
+    /// The trace's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All events in program order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of indirect-branch executions recorded.
+    #[must_use]
+    pub fn indirect_count(&self) -> u64 {
+        self.indirect_count
+    }
+
+    /// Number of conditional-branch executions recorded.
+    #[must_use]
+    pub fn cond_count(&self) -> u64 {
+        self.cond_count
+    }
+
+    /// Total instructions executed (as reported via
+    /// [`record_instructions`](Trace::record_instructions)).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Whether the trace contains no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of events (indirect + conditional).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Adds non-branch instructions to the running count.
+    pub fn record_instructions(&mut self, count: u64) {
+        self.instructions += count;
+    }
+
+    /// Appends an indirect-branch execution. Also counts one instruction
+    /// (the branch itself).
+    pub fn push_indirect(&mut self, pc: Addr, target: Addr, kind: BranchKind) {
+        self.events
+            .push(TraceEvent::Indirect(IndirectBranch { pc, target, kind }));
+        self.indirect_count += 1;
+        self.instructions += 1;
+    }
+
+    /// Appends a conditional-branch execution. Also counts one instruction.
+    pub fn push_cond(&mut self, pc: Addr, target: Addr, taken: bool) {
+        self.events
+            .push(TraceEvent::Cond(CondBranch { pc, target, taken }));
+        self.cond_count += 1;
+        self.instructions += 1;
+    }
+
+    /// Counts `count` conditional-branch executions (and their
+    /// instructions) without materialising events.
+    ///
+    /// Workload generators use this for programs whose cond/indirect ratio
+    /// is so high (e.g. *go*'s 7123) that storing every conditional event
+    /// would dwarf the indirect trace; the summarised branches still count
+    /// toward [`cond_per_indirect`](Trace::cond_per_indirect) and the
+    /// instruction total, they just cannot be replayed.
+    pub fn record_cond_summary(&mut self, count: u64) {
+        self.cond_count += count;
+        self.instructions += count;
+    }
+
+    /// Appends any event.
+    pub fn push(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::Indirect(b) => self.push_indirect(b.pc, b.target, b.kind),
+            TraceEvent::Cond(b) => self.push_cond(b.pc, b.target, b.taken),
+        }
+    }
+
+    /// Iterates over only the indirect-branch events.
+    #[must_use]
+    pub fn indirect(&self) -> IndirectIter<'_> {
+        IndirectIter {
+            inner: self.events.iter(),
+        }
+    }
+
+    /// Instructions executed per indirect branch (Tables 1–2 column).
+    ///
+    /// Returns `f64::INFINITY` for traces without indirect branches.
+    #[must_use]
+    pub fn instructions_per_indirect(&self) -> f64 {
+        if self.indirect_count == 0 {
+            f64::INFINITY
+        } else {
+            self.instructions as f64 / self.indirect_count as f64
+        }
+    }
+
+    /// Conditional branches executed per indirect branch (Tables 1–2 column).
+    ///
+    /// Returns `f64::INFINITY` for traces without indirect branches.
+    #[must_use]
+    pub fn cond_per_indirect(&self) -> f64 {
+        if self.indirect_count == 0 {
+            f64::INFINITY
+        } else {
+            self.cond_count as f64 / self.indirect_count as f64
+        }
+    }
+
+    /// Computes the full per-site statistics for this trace.
+    ///
+    /// This walks the whole trace; cache the result if used repeatedly.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::compute(self)
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+/// Iterator over the indirect-branch events of a [`Trace`], produced by
+/// [`Trace::indirect`].
+#[derive(Debug, Clone)]
+pub struct IndirectIter<'a> {
+    inner: std::slice::Iter<'a, TraceEvent>,
+}
+
+impl<'a> Iterator for IndirectIter<'a> {
+    type Item = &'a IndirectBranch;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.by_ref().find_map(TraceEvent::as_indirect)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, self.inner.size_hint().1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("t");
+        t.record_instructions(100);
+        t.push_indirect(Addr::new(0x10), Addr::new(0x100), BranchKind::VirtualCall);
+        t.push_cond(Addr::new(0x20), Addr::new(0x80), true);
+        t.push_cond(Addr::new(0x24), Addr::new(0x90), false);
+        t.record_instructions(47);
+        t.push_indirect(Addr::new(0x10), Addr::new(0x140), BranchKind::VirtualCall);
+        t
+    }
+
+    #[test]
+    fn counts_track_pushes() {
+        let t = sample();
+        assert_eq!(t.indirect_count(), 2);
+        assert_eq!(t.cond_count(), 2);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        // 100 + 47 recorded + 4 branch instructions.
+        assert_eq!(t.instructions(), 151);
+    }
+
+    #[test]
+    fn ratios() {
+        let t = sample();
+        assert!((t.instructions_per_indirect() - 75.5).abs() < 1e-9);
+        assert!((t.cond_per_indirect() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_ratios_are_infinite() {
+        let t = Trace::new("empty");
+        assert!(t.instructions_per_indirect().is_infinite());
+        assert!(t.cond_per_indirect().is_infinite());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn indirect_iter_skips_cond() {
+        let t = sample();
+        let targets: Vec<_> = t.indirect().map(|b| b.target.raw()).collect();
+        assert_eq!(targets, vec![0x100, 0x140]);
+    }
+
+    #[test]
+    fn extend_replays_events() {
+        let t = sample();
+        let mut u = Trace::new("copy");
+        u.extend(t.events().iter().copied());
+        assert_eq!(u.indirect_count(), t.indirect_count());
+        assert_eq!(u.cond_count(), t.cond_count());
+        assert_eq!(u.len(), t.len());
+    }
+
+    #[test]
+    fn cond_summary_counts_without_events() {
+        let mut t = Trace::new("s");
+        t.push_indirect(Addr::new(0x10), Addr::new(0x100), BranchKind::Switch);
+        t.record_cond_summary(99);
+        assert_eq!(t.cond_count(), 99);
+        assert_eq!(t.len(), 1); // no events materialised
+        assert!((t.cond_per_indirect() - 99.0).abs() < 1e-12);
+        assert_eq!(t.instructions(), 100);
+    }
+
+    #[test]
+    fn push_generic_event_dispatches() {
+        let mut t = Trace::new("g");
+        t.push(TraceEvent::Indirect(IndirectBranch {
+            pc: Addr::new(0x4),
+            target: Addr::new(0x8),
+            kind: BranchKind::Switch,
+        }));
+        assert_eq!(t.indirect_count(), 1);
+    }
+}

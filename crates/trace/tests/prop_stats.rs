@@ -1,0 +1,88 @@
+//! Property-based tests for trace statistics.
+
+use ibp_trace::{Addr, BranchKind, CoverageLevel, Trace};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u32..12, 0u32..8, any::<bool>()), 0..400).prop_map(|events| {
+        let mut t = Trace::new("prop");
+        for (site, target, cond) in events {
+            let pc = Addr::from_word(0x1000 + site);
+            let target = Addr::from_word(0x8000 + target);
+            if cond {
+                t.push_cond(pc, target, site % 2 == 0);
+            } else {
+                t.push_indirect(pc, target, BranchKind::VirtualCall);
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    /// Coverage is monotone in the level and bounded by the site count.
+    #[test]
+    fn active_sites_monotone(t in trace_strategy()) {
+        let s = t.stats();
+        let counts: Vec<usize> = CoverageLevel::ALL
+            .iter()
+            .map(|&l| s.active_sites(l))
+            .collect();
+        for w in counts.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(counts[3] <= s.distinct_sites);
+        prop_assert_eq!(counts[3] == 0, s.indirect_branches == 0);
+    }
+
+    /// Site executions sum to the trace's indirect count, and dominant
+    /// counts are consistent.
+    #[test]
+    fn site_stats_are_consistent(t in trace_strategy()) {
+        let s = t.stats();
+        let total: u64 = s.sites.iter().map(|x| x.executions).sum();
+        prop_assert_eq!(total, s.indirect_branches);
+        for site in &s.sites {
+            prop_assert!(site.executions >= 1);
+            prop_assert!(site.dominant_target_executions <= site.executions);
+            prop_assert!(site.distinct_targets >= 1);
+            prop_assert!(u64::try_from(site.distinct_targets).unwrap() <= site.executions);
+            let share = site.dominant_share();
+            prop_assert!((0.0..=1.0).contains(&share));
+            prop_assert_eq!(site.is_monomorphic(), site.distinct_targets == 1);
+        }
+        // Sites are sorted by descending execution count.
+        for w in s.sites.windows(2) {
+            prop_assert!(w[0].executions >= w[1].executions);
+        }
+    }
+
+    /// The weighted dominant share is a proper weighted mean in [0, 1] and
+    /// reaches 1 exactly when every site is monomorphic.
+    #[test]
+    fn dominant_share_bounds(t in trace_strategy()) {
+        let s = t.stats();
+        let w = s.weighted_dominant_share();
+        prop_assert!((0.0..=1.0).contains(&w));
+        if s.indirect_branches > 0 {
+            let all_mono = s.sites.iter().all(|x| x.is_monomorphic());
+            prop_assert_eq!(all_mono, (w - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Replaying a trace's events into a new trace preserves every
+    /// statistic.
+    #[test]
+    fn replay_preserves_stats(t in trace_strategy()) {
+        let mut copy = Trace::new("copy");
+        copy.extend(t.events().iter().copied());
+        prop_assert_eq!(copy.indirect_count(), t.indirect_count());
+        prop_assert_eq!(copy.cond_count(), t.cond_count());
+        let (a, b) = (t.stats(), copy.stats());
+        prop_assert_eq!(a.distinct_sites, b.distinct_sites);
+        prop_assert_eq!(a.sites.len(), b.sites.len());
+        for level in CoverageLevel::ALL {
+            prop_assert_eq!(a.active_sites(level), b.active_sites(level));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's benchmark averaging groups (Table 3).
+
+use std::fmt;
+
+use crate::benchmarks::Benchmark;
+
+/// A benchmark group over which the paper reports average misprediction
+/// rates (its Table 3).
+///
+/// Group averages are **arithmetic means of per-benchmark misprediction
+/// rates**, not execution-weighted, matching the paper's AVG rows. `AVG`
+/// deliberately excludes the four programs that execute indirect branches
+/// very infrequently (m88ksim, vortex, ijpeg, go) because branch prediction
+/// barely affects their run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BenchmarkGroup {
+    /// The 13 benchmarks with ≤ 200 instructions per indirect branch.
+    Avg,
+    /// The 9 object-oriented benchmarks (Table 1).
+    AvgOo,
+    /// The 4 frequent-branch C benchmarks (xlisp, perl, edg, gcc).
+    AvgC,
+    /// Benchmarks with fewer than 100 instructions per indirect branch.
+    Avg100,
+    /// Benchmarks with 100–200 instructions per indirect branch.
+    Avg200,
+    /// Benchmarks with more than 1000 instructions per indirect branch.
+    AvgInfreq,
+}
+
+impl BenchmarkGroup {
+    /// All groups, in the paper's Table 3 order.
+    pub const ALL: [BenchmarkGroup; 6] = [
+        BenchmarkGroup::AvgOo,
+        BenchmarkGroup::AvgC,
+        BenchmarkGroup::Avg,
+        BenchmarkGroup::Avg100,
+        BenchmarkGroup::Avg200,
+        BenchmarkGroup::AvgInfreq,
+    ];
+
+    /// The group's display name as used in the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkGroup::Avg => "AVG",
+            BenchmarkGroup::AvgOo => "AVG-OO",
+            BenchmarkGroup::AvgC => "AVG-C",
+            BenchmarkGroup::Avg100 => "AVG-100",
+            BenchmarkGroup::Avg200 => "AVG-200",
+            BenchmarkGroup::AvgInfreq => "AVG-infreq",
+        }
+    }
+
+    /// The member benchmarks, in [`Benchmark::ALL`] order.
+    #[must_use]
+    pub fn members(self) -> Vec<Benchmark> {
+        Benchmark::ALL
+            .into_iter()
+            .filter(|b| self.contains(*b))
+            .collect()
+    }
+
+    /// Whether a benchmark belongs to this group.
+    #[must_use]
+    pub fn contains(self, b: Benchmark) -> bool {
+        match self {
+            BenchmarkGroup::Avg => !b.is_infrequent(),
+            BenchmarkGroup::AvgOo => b.is_object_oriented(),
+            BenchmarkGroup::AvgC => !b.is_object_oriented() && !b.is_infrequent(),
+            BenchmarkGroup::Avg100 => matches!(
+                b,
+                Benchmark::Idl
+                    | Benchmark::Jhm
+                    | Benchmark::SelfVm
+                    | Benchmark::Troff
+                    | Benchmark::Lcom
+                    | Benchmark::Xlisp
+            ),
+            BenchmarkGroup::Avg200 => matches!(
+                b,
+                Benchmark::Porky
+                    | Benchmark::Ixx
+                    | Benchmark::Eqn
+                    | Benchmark::Beta
+                    | Benchmark::Perl
+                    | Benchmark::Edg
+                    | Benchmark::Gcc
+            ),
+            BenchmarkGroup::AvgInfreq => b.is_infrequent(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_sizes_match_table3() {
+        assert_eq!(BenchmarkGroup::AvgOo.members().len(), 9);
+        assert_eq!(BenchmarkGroup::AvgC.members().len(), 4);
+        assert_eq!(BenchmarkGroup::Avg.members().len(), 13);
+        assert_eq!(BenchmarkGroup::Avg100.members().len(), 6);
+        assert_eq!(BenchmarkGroup::Avg200.members().len(), 7);
+        assert_eq!(BenchmarkGroup::AvgInfreq.members().len(), 4);
+    }
+
+    #[test]
+    fn avg_is_union_of_100_and_200() {
+        let mut union: Vec<Benchmark> = BenchmarkGroup::Avg100
+            .members()
+            .into_iter()
+            .chain(BenchmarkGroup::Avg200.members())
+            .collect();
+        union.sort();
+        let mut avg = BenchmarkGroup::Avg.members();
+        avg.sort();
+        assert_eq!(union, avg);
+    }
+
+    #[test]
+    fn avg_excludes_infrequent() {
+        for b in BenchmarkGroup::AvgInfreq.members() {
+            assert!(!BenchmarkGroup::Avg.contains(b));
+        }
+    }
+
+    #[test]
+    fn instruction_ratio_consistent_with_grouping() {
+        // The generated instr/indirect ratio must place members in their
+        // paper group.
+        for b in BenchmarkGroup::Avg100.members() {
+            assert!(b.config().instr_per_indirect < 100.0, "{b}");
+        }
+        for b in BenchmarkGroup::Avg200.members() {
+            let r = b.config().instr_per_indirect;
+            assert!((100.0..=200.0).contains(&r), "{b}: {r}");
+        }
+        for b in BenchmarkGroup::AvgInfreq.members() {
+            assert!(b.config().instr_per_indirect > 1000.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn names_display() {
+        assert_eq!(BenchmarkGroup::Avg.to_string(), "AVG");
+        assert_eq!(BenchmarkGroup::AvgInfreq.name(), "AVG-infreq");
+        assert_eq!(BenchmarkGroup::ALL.len(), 6);
+    }
+}

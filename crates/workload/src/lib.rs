@@ -1,0 +1,49 @@
+//! Synthetic indirect-branch workloads.
+//!
+//! The original study traced real programs (SPECint95 and large C++
+//! applications) under Sun's *shade* instruction-level simulator. Those
+//! binaries, inputs and tooling are not reproducible here, so this crate
+//! provides the substitution documented in `DESIGN.md`: a **synthetic
+//! program model** whose traces exhibit the statistical structure that
+//! indirect-branch predictors exploit —
+//!
+//! * a hidden **activity** Markov chain (of order 1 or 2) standing in for
+//!   program control flow (AST node kinds in a compiler, bytecodes in an
+//!   interpreter, …);
+//! * per-activity **scripts** of indirect branch sites whose targets are a
+//!   deterministic function of the activity, plus tunable noise;
+//! * **phase changes** that re-draw the transition structure, penalising
+//!   long-history predictors exactly as the paper observes past `p ≈ 6`;
+//! * site-frequency **skew**, conditional-branch context, and instruction
+//!   counts matching the paper's benchmark tables.
+//!
+//! The 17 paper benchmarks are available as [`Benchmark`] variants with
+//! per-program calibrated parameters, and the paper's averaging groups as
+//! [`BenchmarkGroup`].
+//!
+//! # Example
+//!
+//! ```
+//! use ibp_workload::Benchmark;
+//!
+//! let trace = Benchmark::Gcc.trace_with_len(10_000);
+//! assert_eq!(trace.indirect_count(), 10_000);
+//! // Traces are deterministic: same benchmark, same trace.
+//! let again = Benchmark::Gcc.trace_with_len(10_000);
+//! assert_eq!(trace.events(), again.events());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmarks;
+mod group;
+mod mix;
+mod program;
+mod zipf;
+
+pub use benchmarks::Benchmark;
+pub use group::BenchmarkGroup;
+pub use mix::KindMix;
+pub use program::{ProgramConfig, ProgramModel};
+pub use zipf::Zipf;

@@ -1,0 +1,84 @@
+//! The paper's boldest future-work idea (§8.1): predict not just the
+//! current branch's target, but *which indirect branch comes next* — and
+//! chain those predictions to run ahead of execution.
+//!
+//! This example trains an [`AheadPredictor`] on an interpreter-like
+//! workload and measures how accuracy decays with lookahead depth, the
+//! trade-off a fetch engine running ahead of resolution would live with.
+//!
+//! ```text
+//! cargo run --release --example ahead_prediction
+//! ```
+
+use std::collections::VecDeque;
+
+use ibp::core::ext::{AheadPrediction, AheadPredictor};
+use ibp::core::Predictor;
+use ibp::trace::{Addr, TraceEvent};
+use ibp::workload::Benchmark;
+
+const MAX_DEPTH: usize = 8;
+
+fn main() {
+    let trace = Benchmark::Xlisp.trace_with_len(100_000);
+    println!(
+        "workload: {} ({} indirect branches)\n",
+        trace.name(),
+        trace.indirect_count()
+    );
+
+    let mut predictor = AheadPredictor::new(4);
+    // pending[d] holds predictions issued d+1 branches ago at chain depth d.
+    let mut pending: Vec<VecDeque<AheadPrediction>> = vec![VecDeque::new(); MAX_DEPTH];
+    let mut correct = [0u64; MAX_DEPTH];
+    let mut pc_only = [0u64; MAX_DEPTH];
+    let mut scored = 0u64;
+
+    for event in trace.events() {
+        let TraceEvent::Indirect(branch) = event else {
+            continue;
+        };
+        scored += 1;
+        for (d, queue) in pending.iter_mut().enumerate() {
+            if queue.len() > d {
+                if let Some(pred) = queue.pop_front() {
+                    if pred.pc == branch.pc {
+                        pc_only[d] += 1;
+                        if pred.target == branch.target {
+                            correct[d] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        predictor.update(branch.pc, branch.target);
+        let chain = predictor.predict_chain(MAX_DEPTH);
+        for (d, queue) in pending.iter_mut().enumerate() {
+            queue.push_back(chain.get(d).copied().unwrap_or(AheadPrediction {
+                pc: Addr::ZERO,
+                target: Addr::ZERO,
+            }));
+        }
+    }
+
+    println!(
+        "{:>6} {:>18} {:>16}",
+        "depth", "branch+target ok", "branch addr ok"
+    );
+    println!("{}", "-".repeat(44));
+    for d in 0..MAX_DEPTH {
+        println!(
+            "{:>6} {:>17.2}% {:>15.2}%",
+            d + 1,
+            correct[d] as f64 / scored as f64 * 100.0,
+            pc_only[d] as f64 / scored as f64 * 100.0
+        );
+    }
+    println!(
+        "\nEach extra step multiplies in the per-link uncertainty, so accuracy\n\
+         decays roughly geometrically — but several branches of useful\n\
+         lookahead survive, which is what lets a front end fetch past\n\
+         multiple unresolved indirect branches ({} patterns learned).",
+        predictor.stored_patterns()
+    );
+}

@@ -1,0 +1,106 @@
+//! Hardware-budget tuning: given a total number of table entries, which
+//! predictor organisation should a designer pick?
+//!
+//! This walks the paper's §5–§6 decision procedure for a few budgets: for
+//! each organisation (tagless / set-associative / fully-associative,
+//! hybrid or not) it searches path lengths and reports the winner —
+//! reproducing the crossover the paper highlights, where hybrids overtake
+//! higher associativity once tables reach about 1K entries.
+//!
+//! ```text
+//! cargo run --release --example budget_tuning [budget ...]
+//! ```
+
+use ibp::core::{Associativity, PredictorConfig};
+use ibp::sim::{Suite, SuiteResult};
+use ibp::workload::Benchmark;
+
+fn search(
+    suite: &Suite,
+    label: &str,
+    candidates: Vec<(String, PredictorConfig)>,
+) -> Option<(String, f64)> {
+    let mut best: Option<(String, f64)> = None;
+    for (name, cfg) in candidates {
+        let result: SuiteResult = suite.run(|| cfg.build());
+        let avg = result.avg();
+        if best.as_ref().is_none_or(|(_, b)| avg < *b) {
+            best = Some((format!("{label} {name}"), avg));
+        }
+    }
+    best
+}
+
+fn main() {
+    let budgets: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![256, 1024, 8192]
+        } else {
+            args
+        }
+    };
+
+    // A small but representative slice of the suite keeps this example
+    // snappy; use the `fig18_best_predictors` binary for the full search.
+    let suite = Suite::with_benchmarks_and_len(
+        &[
+            Benchmark::Ixx,
+            Benchmark::Porky,
+            Benchmark::Eqn,
+            Benchmark::Gcc,
+            Benchmark::Xlisp,
+        ],
+        60_000,
+    );
+
+    for budget in budgets {
+        println!("== budget: {budget} total entries ==");
+        let mut winners: Vec<(String, f64)> = Vec::new();
+        for (label, assoc) in [
+            ("tagless", Associativity::Tagless),
+            ("2-way", Associativity::Ways(2)),
+            ("4-way", Associativity::Ways(4)),
+        ] {
+            let singles = (0..=6usize)
+                .map(|p| {
+                    (
+                        format!("p={p}"),
+                        PredictorConfig::practical(p, budget, 1).with_associativity(assoc),
+                    )
+                })
+                .collect();
+            if let Some(w) = search(&suite, label, singles) {
+                winners.push(w);
+            }
+            if budget >= 64 {
+                let hybrids = (2..=7usize)
+                    .flat_map(|long| {
+                        [0usize, 1, 2]
+                            .into_iter()
+                            .filter_map(move |short| (short < long).then_some((long, short)))
+                    })
+                    .map(|(long, short)| {
+                        (
+                            format!("p={long}.{short}"),
+                            PredictorConfig::hybrid(long, short, budget / 2, 1)
+                                .with_associativity(assoc),
+                        )
+                    })
+                    .collect();
+                if let Some(w) = search(&suite, &format!("hybrid {label}"), hybrids) {
+                    winners.push(w);
+                }
+            }
+        }
+        winners.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (i, (name, avg)) in winners.iter().enumerate() {
+            let marker = if i == 0 { "  <-- pick this" } else { "" };
+            println!("  {name:<26} {:>6.2}%{marker}", avg * 100.0);
+        }
+        println!();
+    }
+}

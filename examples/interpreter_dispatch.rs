@@ -1,0 +1,83 @@
+//! Modelling a bytecode interpreter's dispatch loop.
+//!
+//! Interpreters are the classic hard case for BTBs: one indirect branch
+//! (the dispatch `switch`) with dozens of targets, executed every few
+//! instructions. This example builds a custom [`ProgramConfig`] shaped
+//! like an interpreter — few sites, a hot megamorphic dispatch site,
+//! opcode "idioms" (common bytecode shapes) — and shows how prediction
+//! accuracy scales with path length, mirroring the paper's xlisp/perl
+//! observations.
+//!
+//! ```text
+//! cargo run --release --example interpreter_dispatch
+//! ```
+
+use ibp::core::PredictorConfig;
+use ibp::sim::simulate;
+use ibp::trace::CoverageLevel;
+use ibp::workload::{KindMix, ProgramConfig};
+
+fn main() {
+    let mut config = ProgramConfig::new("toy-interpreter");
+    // An interpreter: a handful of branch sites, one of them (the dispatch
+    // switch) megamorphic and dominant.
+    config.sites = 12;
+    config.site_zipf = 1.7;
+    config.classes = 10; // opcodes handled per dispatch site
+    config.method_pool = Some(10); // opcode handlers
+    config.mono_fraction = 0.25;
+    config.class_skew = 0.3;
+    config.kind_mix = KindMix::c_style();
+    // The interpreted program: bytecode idioms composed into functions.
+    config.activities = 48;
+    config.idioms = 16;
+    config.idiom_families = 4;
+    config.melody_len = (3, 8);
+    config.modes = 8;
+    config.mode_reps = (1, 4);
+    config.deviation = 0.01;
+    config.noise = 0.005;
+    config.cond_per_indirect = 8.0;
+    config.instr_per_indirect = 40.0;
+
+    let trace = config.build().generate_with_len(100_000);
+    let stats = trace.stats();
+    println!("toy interpreter trace:");
+    println!(
+        "  {} indirect branches from {} sites",
+        stats.indirect_branches, stats.distinct_sites
+    );
+    println!(
+        "  95% of dispatches come from {} site(s); hottest site has {} targets",
+        stats.active_sites(CoverageLevel::P95),
+        stats.sites[0].distinct_targets
+    );
+    println!(
+        "  dominant-target share {:.1}% — the ceiling for any BTB-like scheme\n",
+        stats.weighted_dominant_share() * 100.0
+    );
+
+    println!("{:<34} {:>11}", "predictor", "mispredict");
+    println!("{}", "-".repeat(46));
+    let mut btb = PredictorConfig::btb_2bc().build();
+    let run = simulate(&trace, btb.as_mut());
+    println!(
+        "{:<34} {:>10.2}%",
+        "BTB-2bc (target cache)",
+        run.misprediction_rate() * 100.0
+    );
+    for p in [1usize, 2, 3, 4, 6, 8] {
+        let mut predictor = PredictorConfig::practical(p, 512, 4).build();
+        let run = simulate(&trace, predictor.as_mut());
+        println!(
+            "{:<34} {:>10.2}%",
+            format!("two-level p={p}, 512-entry 4-way"),
+            run.misprediction_rate() * 100.0
+        );
+    }
+    println!(
+        "\nThe opcode *sequence* is what identifies the interpreted\n\
+         program's position — exactly the inter-branch correlation a\n\
+         path-based history exploits and a BTB cannot."
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: compare a BTB, a practical two-level predictor and a hybrid
+//! on one synthetic benchmark.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ibp::core::PredictorConfig;
+use ibp::sim::simulate;
+use ibp::workload::Benchmark;
+
+fn main() {
+    // `ixx` is the paper's poster child: an unconstrained BTB mispredicts
+    // almost half its indirect branches, yet they are highly predictable
+    // from path history.
+    let trace = Benchmark::Ixx.trace_with_len(100_000);
+    println!(
+        "benchmark: {} ({} indirect branches, {} sites)\n",
+        trace.name(),
+        trace.indirect_count(),
+        trace.stats().distinct_sites
+    );
+
+    let configs: Vec<(&str, PredictorConfig)> = vec![
+        ("BTB (always-update)", PredictorConfig::btb()),
+        ("BTB-2bc", PredictorConfig::btb_2bc()),
+        (
+            "two-level p=3, 1K 4-way",
+            PredictorConfig::practical(3, 1024, 4),
+        ),
+        (
+            "two-level p=4, 8K 4-way",
+            PredictorConfig::practical(4, 8192, 4),
+        ),
+        (
+            "hybrid p=5.1, 8K total",
+            PredictorConfig::hybrid(5, 1, 4096, 4),
+        ),
+    ];
+
+    println!(
+        "{:<28} {:>12} {:>10}",
+        "predictor", "mispredict", "hit rate"
+    );
+    println!("{}", "-".repeat(52));
+    for (label, cfg) in configs {
+        let mut predictor = cfg.build();
+        let run = simulate(&trace, predictor.as_mut());
+        println!(
+            "{label:<28} {:>11.2}% {:>9.2}%",
+            run.misprediction_rate() * 100.0,
+            run.hit_rate() * 100.0
+        );
+    }
+
+    println!(
+        "\nThe two-level predictor resolves the polymorphic call sites the\n\
+         BTB keeps missing; the hybrid adds a long-path component that\n\
+         captures longer-range correlations without losing the short-path\n\
+         component's fast warm-up."
+    );
+}

@@ -1,0 +1,42 @@
+//! # ibp — Accurate Indirect Branch Prediction
+//!
+//! A from-scratch Rust reproduction of Driesen & Hölzle, *Accurate Indirect
+//! Branch Prediction* (ISCA '98 / UCSB TRCS97-19): the complete design space
+//! of two-level and hybrid indirect-branch predictors, together with the
+//! trace and workload substrates the study depends on.
+//!
+//! This façade crate re-exports the workspace members:
+//!
+//! * [`trace`] — addresses, branch events, traces, trace statistics;
+//! * [`workload`] — the synthetic benchmark suite standing in for the
+//!   paper's shade-generated SPECint95/C++ traces;
+//! * [`core`] — the predictors themselves (BTB, two-level, hybrid, and the
+//!   paper's future-work extensions);
+//! * [`sim`] — the simulation driver, benchmark groups, parameter sweeps and
+//!   every figure/table experiment.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ibp::core::{Predictor, PredictorConfig};
+//! use ibp::sim::simulate;
+//! use ibp::workload::Benchmark;
+//!
+//! // Generate a small synthetic trace for the paper's `ixx` benchmark.
+//! let trace = Benchmark::Ixx.trace_with_len(20_000);
+//!
+//! // An unconstrained BTB with two-bit-counter update (the paper's baseline)
+//! let mut btb = PredictorConfig::btb_2bc().build();
+//! let btb_run = simulate(&trace, btb.as_mut());
+//!
+//! // A practical two-level predictor: path length 3, 1K-entry 4-way table.
+//! let mut two_level = PredictorConfig::practical(3, 1024, 4).build();
+//! let tl_run = simulate(&trace, two_level.as_mut());
+//!
+//! assert!(tl_run.misprediction_rate() < btb_run.misprediction_rate());
+//! ```
+
+pub use ibp_core as core;
+pub use ibp_sim as sim;
+pub use ibp_trace as trace;
+pub use ibp_workload as workload;

@@ -1,0 +1,106 @@
+//! Smoke tests: every registered experiment runs end to end on a tiny
+//! suite and produces well-formed tables (the full-scale runs live in the
+//! `ibp-bench` binaries).
+
+use ibp::sim::experiments::{self, fig18};
+use ibp::sim::report::Cell;
+use ibp::sim::Suite;
+use ibp::workload::Benchmark;
+use std::sync::OnceLock;
+
+fn tiny_suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(|| Suite::with_benchmarks_and_len(&[Benchmark::Ixx, Benchmark::Xlisp], 6_000))
+}
+
+#[test]
+fn every_registered_experiment_produces_tables() {
+    let suite = tiny_suite();
+    for e in experiments::all() {
+        // fig18's default search space is deliberately big; it has its own
+        // smoke test below.
+        if e.id == "fig18" || e.id == "fig17" || e.id == "sensitivity" {
+            continue;
+        }
+        let tables = (e.run)(suite);
+        assert!(!tables.is_empty(), "{} produced no tables", e.id);
+        for t in &tables {
+            assert!(!t.headers().is_empty(), "{}: empty headers", e.id);
+            assert!(
+                !t.rows().is_empty(),
+                "{}: empty rows in {}",
+                e.id,
+                t.title()
+            );
+            // Every row renders in both formats.
+            let text = t.to_text();
+            let csv = t.to_csv();
+            assert!(text.contains(t.title()));
+            assert_eq!(csv.lines().count(), t.rows().len() + 1);
+        }
+    }
+}
+
+#[test]
+fn fig18_quick_search_is_well_formed() {
+    let suite = tiny_suite();
+    let tables = fig18::run_with(suite, &fig18::quick_options());
+    // fig18 + A-2 + Table 6 + 6 groups + 2 benchmarks.
+    assert_eq!(tables.len(), 11);
+    // Figure 18's first data column is the bounded BTB; it must be worse
+    // than the best 4-way two-level at the largest size.
+    let fig = &tables[0];
+    let last = fig.rows().last().unwrap();
+    let (Cell::Percent(btb), Cell::Percent(a4)) = (&last[1], &last[5]) else {
+        panic!("percent cells expected: {last:?}");
+    };
+    assert!(a4 < btb, "two-level {a4} vs btb {btb}");
+}
+
+#[test]
+fn fig17_small_surface_is_symmetricish() {
+    // Run a reduced surface by hand (the module constant sizes are too big
+    // for a smoke test): hybrids p1/p2 swapped should be within noise.
+    use ibp::core::PredictorConfig;
+    let suite = tiny_suite();
+    let a = suite
+        .run(|| PredictorConfig::hybrid(4, 1, 512, 4).build())
+        .avg();
+    let b = suite
+        .run(|| PredictorConfig::hybrid(1, 4, 512, 4).build())
+        .avg();
+    // The paper reports the surface "fairly symmetrical"; at this tiny
+    // scale tie-breaking noise is visible, so the tolerance is loose.
+    assert!(
+        (a - b).abs() < 0.05,
+        "order of components should not matter much: {a} vs {b}"
+    );
+}
+
+#[test]
+fn experiment_ids_match_design_doc() {
+    let ids: Vec<&str> = experiments::all().iter().map(|e| e.id).collect();
+    for expected in [
+        "table1_2",
+        "fig2",
+        "fig5",
+        "fig7",
+        "fig9",
+        "fig10",
+        "table5",
+        "fig11",
+        "fig12_14_15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "analysis",
+        "ablations",
+        "ext",
+        "related_work",
+        "hardware",
+        "sensitivity",
+        "summary",
+    ] {
+        assert!(ids.contains(&expected), "missing experiment {expected}");
+    }
+}
