@@ -1,12 +1,25 @@
 //! Runs every experiment in paper order, regenerating all figures and
 //! tables into `results/`. Expect this to take a while at default trace
 //! length; `IBP_EVENTS=30000` gives a quick full pass.
+//!
+//! Prints a cache/throughput summary on stderr when done and writes
+//! per-experiment runtime metrics to `results/manifest.csv`. Set
+//! `IBP_LOG=1` for verbose per-sweep and per-experiment progress.
+
+use std::time::Instant;
 
 fn main() {
+    let t0 = Instant::now();
     let suite = ibp_bench::full_suite();
+    let mut metrics = Vec::new();
     for e in ibp_sim::experiments::all() {
         eprintln!("== {} ({}) ==", e.title, e.id);
-        let tables = (e.run)(&suite);
+        let (tables, m) = ibp_bench::run_instrumented(&e, &suite);
         ibp_bench::emit(e.id, &tables);
+        metrics.push(m);
     }
+    if let Some(path) = ibp_bench::write_manifest(&metrics) {
+        eprintln!("runtime manifest written to {}", path.display());
+    }
+    ibp_bench::print_summary(&metrics, t0.elapsed());
 }

@@ -11,13 +11,18 @@
 //!   120 000). The paper traced 0.03M–6M events per program; larger values
 //!   flatten the long-path warm-up penalty at the cost of run time.
 //! * `IBP_RESULTS` — output directory for CSVs (default `results`).
+//! * `IBP_LOG` — set to `1` for per-sweep and per-experiment progress
+//!   lines on stderr.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
+use ibp_sim::engine::{self, EngineStats};
+use ibp_sim::experiments::Experiment;
 use ibp_sim::report::Table;
 use ibp_sim::Suite;
 
@@ -28,11 +33,16 @@ pub fn full_suite() -> Suite {
     Suite::new()
 }
 
+/// The CSV output root (`$IBP_RESULTS`, default `results`).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("IBP_RESULTS").unwrap_or_else(|_| "results".to_string()))
+}
+
 /// Prints the tables and writes one CSV per table under
 /// `$IBP_RESULTS/<id>/`.
 pub fn emit(id: &str, tables: &[Table]) {
-    let dir = PathBuf::from(std::env::var("IBP_RESULTS").unwrap_or_else(|_| "results".to_string()))
-        .join(id);
+    let dir = results_dir().join(id);
     let persisted = fs::create_dir_all(&dir).is_ok();
     for (i, t) in tables.iter().enumerate() {
         println!("{}", t.to_text());
@@ -67,4 +77,118 @@ pub fn run_experiment(id: &str) {
     let suite = full_suite();
     let tables = (experiment.run)(&suite);
     emit(id, &tables);
+}
+
+/// Wall time and engine-counter deltas attributed to one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentMetrics {
+    /// The experiment id (`fig9`, …).
+    pub id: &'static str,
+    /// Wall-clock duration of the runner.
+    pub wall: Duration,
+    /// Cache hit/miss and simulated-event deltas (see
+    /// [`EngineStats::since`]).
+    pub engine: EngineStats,
+}
+
+impl ExperimentMetrics {
+    /// Indirect-branch events simulated per second of wall time
+    /// (0 when nothing was simulated live).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.engine.simulated_events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs one experiment, attributing wall time and engine-counter deltas to
+/// it. With `IBP_LOG=1`, prints the per-experiment metrics line on stderr.
+pub fn run_instrumented(experiment: &Experiment, suite: &Suite) -> (Vec<Table>, ExperimentMetrics) {
+    let before = engine::stats();
+    let t0 = Instant::now();
+    let tables = (experiment.run)(suite);
+    let metrics = ExperimentMetrics {
+        id: experiment.id,
+        wall: t0.elapsed(),
+        engine: engine::stats().since(before),
+    };
+    if engine::log_enabled() {
+        eprintln!(
+            "[{}] {:.2?}, {} hits / {} misses, {} events ({:.0} events/s)",
+            metrics.id,
+            metrics.wall,
+            metrics.engine.hits,
+            metrics.engine.misses,
+            metrics.engine.simulated_events,
+            metrics.events_per_sec(),
+        );
+    }
+    (tables, metrics)
+}
+
+/// Writes `$IBP_RESULTS/manifest.csv`: one row of runtime metrics per
+/// experiment. Returns the path on success.
+pub fn write_manifest(metrics: &[ExperimentMetrics]) -> Option<PathBuf> {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return None;
+    }
+    let mut csv = String::from(
+        "experiment,wall_seconds,cache_hits,cache_misses,simulated_events,events_per_sec\n",
+    );
+    for m in metrics {
+        csv.push_str(&format!(
+            "{},{:.3},{},{},{},{:.0}\n",
+            m.id,
+            m.wall.as_secs_f64(),
+            m.engine.hits,
+            m.engine.misses,
+            m.engine.simulated_events,
+            m.events_per_sec(),
+        ));
+    }
+    let path = dir.join("manifest.csv");
+    match fs::write(&path, csv) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Prints the end-of-run cache/throughput summary on stderr.
+pub fn print_summary(metrics: &[ExperimentMetrics], total_wall: Duration) {
+    let total: EngineStats = metrics.iter().fold(EngineStats::default(), |acc, m| {
+        EngineStats {
+            hits: acc.hits + m.engine.hits,
+            misses: acc.misses + m.engine.misses,
+            simulated_events: acc.simulated_events + m.engine.simulated_events,
+        }
+    });
+    let lookups = total.hits + total.misses;
+    let hit_pct = if lookups > 0 {
+        100.0 * total.hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    let rate = if total_wall.as_secs_f64() > 0.0 {
+        total.simulated_events as f64 / total_wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    eprintln!(
+        "{} experiments in {:.2?}: {} cache hits / {} misses ({hit_pct:.1}% hit rate), \
+         {} indirect branches simulated ({rate:.0} events/s)",
+        metrics.len(),
+        total_wall,
+        total.hits,
+        total.misses,
+        total.simulated_events,
+    );
 }

@@ -374,6 +374,35 @@ impl PredictorConfig {
         self.path_len
     }
 
+    /// A canonical identity string covering *every* parameter of this
+    /// configuration: two configs with the same key build predictors with
+    /// identical behaviour, so simulation results may be memoized under it
+    /// (`ibp_sim::engine` does exactly that).
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{:?}|p={},{}|hshare={:?}|tshare={:?}|elem={:?}|full={:?}|budget={}\
+             |comp={:?}|il={:?}|scheme={:?}|entries={:?}|assoc={:?}|rule={:?}\
+             |conf={}|cond={}",
+            self.kind,
+            self.path_len,
+            self.path_len2,
+            self.history_sharing,
+            self.table_sharing,
+            self.history_element,
+            self.full_precision,
+            self.pattern_budget,
+            self.compressor,
+            self.interleaving,
+            self.scheme,
+            self.entries,
+            self.assoc,
+            self.rule,
+            self.confidence_bits,
+            self.include_cond,
+        )
+    }
+
     /// Builds the predictor.
     ///
     /// # Panics

@@ -1,0 +1,410 @@
+//! The memoizing sweep engine.
+//!
+//! Experiments sweep dozens of predictor configurations over the same
+//! benchmark traces, and many of them re-run identical (configuration,
+//! benchmark) pairs — the BTB-2bc baseline alone is re-simulated by five
+//! different experiments. This module makes the *(config × benchmark)
+//! grid* the unit of scheduling and caching:
+//!
+//! * a [`Sweep`] flattens all its configurations against all suite
+//!   benchmarks into one work queue for
+//!   [`parallel_map`](crate::parallel_map), instead of barriering
+//!   per-configuration on 17 traces;
+//! * results are memoized in a process-wide cache keyed by
+//!   `(PredictorConfig::cache_key(), benchmark, events, warmup)` — traces
+//!   are pure functions of `(benchmark, events)`, so a repeated pair is
+//!   guaranteed to reproduce the same [`RunStats`] and is never simulated
+//!   twice, within or across experiments;
+//! * global hit/miss/event counters ([`stats`]) let callers report cache
+//!   effectiveness and simulation throughput.
+//!
+//! Set `IBP_LOG=1` for a per-sweep progress line on stderr.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use ibp_core::{Predictor, PredictorConfig};
+use ibp_workload::Benchmark;
+
+use crate::parallel::parallel_map;
+use crate::run::{simulate_warm, RunStats};
+use crate::suite::{Suite, SuiteResult};
+
+/// Full identity of one memoized run. The trace is a pure function of
+/// `(benchmark, events)`, and the predictor a pure function of the config
+/// key, so this tuple determines the `RunStats` exactly.
+type CacheKey = (String, Benchmark, u64, u64);
+
+fn cache() -> &'static Mutex<HashMap<CacheKey, RunStats>> {
+    static CACHE: OnceLock<Mutex<HashMap<CacheKey, RunStats>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static SIMULATED_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether verbose progress logging is enabled (`IBP_LOG=1`).
+#[must_use]
+pub fn log_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("IBP_LOG").is_ok_and(|v| v == "1"))
+}
+
+/// A snapshot of the process-wide engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Lookups served from the memo cache (never simulated again).
+    pub hits: u64,
+    /// Lookups that had to be simulated.
+    pub misses: u64,
+    /// Indirect-branch events processed by live simulation (warmup
+    /// included); cache hits contribute nothing.
+    pub simulated_events: u64,
+}
+
+impl EngineStats {
+    /// The counter deltas accumulated since an `earlier` snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: EngineStats) -> EngineStats {
+        EngineStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            simulated_events: self.simulated_events - earlier.simulated_events,
+        }
+    }
+}
+
+/// The current process-wide counters. Diff two snapshots (see
+/// [`EngineStats::since`]) to attribute work to a region of code.
+#[must_use]
+pub fn stats() -> EngineStats {
+    EngineStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        simulated_events: SIMULATED_EVENTS.load(Ordering::Relaxed),
+    }
+}
+
+struct Job<'a> {
+    key: String,
+    make: Box<dyn Fn() -> Box<dyn Predictor> + Sync + 'a>,
+}
+
+/// A batch of predictor configurations to evaluate over one suite.
+///
+/// Queue configurations with [`config`](Sweep::config) (or
+/// [`custom`](Sweep::custom) for predictors that `PredictorConfig` cannot
+/// express), then call [`run`](Sweep::run): results come back in queue
+/// order, one [`SuiteResult`] per configuration, exactly as if each had
+/// been run through [`Suite::run`].
+pub struct Sweep<'a> {
+    suite: &'a Suite,
+    warmup: u64,
+    jobs: Vec<Job<'a>>,
+}
+
+impl<'a> Sweep<'a> {
+    /// An empty sweep over `suite`.
+    #[must_use]
+    pub fn new(suite: &'a Suite) -> Self {
+        Sweep {
+            suite,
+            warmup: 0,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Trains each predictor on the first `warmup` indirect branches of a
+    /// trace without scoring them (cached separately per warmup value).
+    pub fn warmup(&mut self, warmup: u64) -> &mut Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Queues a predictor configuration; its memo key is
+    /// [`PredictorConfig::cache_key`].
+    pub fn config(&mut self, cfg: PredictorConfig) -> &mut Self {
+        let key = cfg.cache_key();
+        self.jobs.push(Job {
+            key,
+            make: Box::new(move || cfg.build()),
+        });
+        self
+    }
+
+    /// Queues a custom predictor constructor under an explicit memo key.
+    ///
+    /// The key must fully determine the constructed predictor's behaviour
+    /// (it plays the role [`PredictorConfig::cache_key`] plays for
+    /// `config`); two `custom` jobs with equal keys are assumed
+    /// interchangeable and only one of them is simulated.
+    pub fn custom<F>(&mut self, key: impl Into<String>, make: F) -> &mut Self
+    where
+        F: Fn() -> Box<dyn Predictor> + Sync + 'a,
+    {
+        self.jobs.push(Job {
+            key: key.into(),
+            make: Box::new(make),
+        });
+        self
+    }
+
+    /// Number of queued configurations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no configuration is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Evaluates every queued configuration over every suite benchmark:
+    /// one flattened (config × benchmark) work queue, memoized against the
+    /// process-wide cache. Returns one result per configuration, in queue
+    /// order.
+    #[must_use]
+    pub fn run(&self) -> Vec<SuiteResult> {
+        let t0 = Instant::now();
+        let events = self.suite.events();
+        let benchmarks = self.suite.benchmarks();
+        let nb = benchmarks.len();
+
+        // Phase 1: serve what we can from the cache; claim one simulation
+        // unit per distinct (key, benchmark) among the rest, so duplicate
+        // keys inside one sweep are simulated once.
+        let mut results: Vec<Vec<Option<RunStats>>> = vec![vec![None; nb]; self.jobs.len()];
+        let mut units: Vec<(usize, usize)> = Vec::new();
+        {
+            let cache = cache().lock().expect("engine cache poisoned");
+            let mut claimed: HashMap<(&str, Benchmark), ()> = HashMap::new();
+            for (j, job) in self.jobs.iter().enumerate() {
+                for (bi, &b) in benchmarks.iter().enumerate() {
+                    let full_key = (job.key.clone(), b, events, self.warmup);
+                    if let Some(&cached) = cache.get(&full_key) {
+                        results[j][bi] = Some(cached);
+                        HITS.fetch_add(1, Ordering::Relaxed);
+                    } else if claimed.insert((job.key.as_str(), b), ()).is_none() {
+                        units.push((j, bi));
+                    }
+                }
+            }
+        }
+
+        // Phase 2: simulate all missing units in one flat parallel queue.
+        let simulated: Vec<RunStats> = parallel_map(&units, |&(j, bi)| {
+            let trace = self.suite.trace(benchmarks[bi]);
+            let mut p = (self.jobs[j].make)();
+            let stats = simulate_warm(trace, p.as_mut(), self.warmup);
+            SIMULATED_EVENTS.fetch_add(trace.indirect_count(), Ordering::Relaxed);
+            stats
+        });
+        MISSES.fetch_add(units.len() as u64, Ordering::Relaxed);
+
+        // Phase 3: publish the new results, then fill every remaining slot
+        // (duplicate keys within this sweep) from the cache.
+        {
+            let mut cache = cache().lock().expect("engine cache poisoned");
+            for (&(j, bi), &stats) in units.iter().zip(&simulated) {
+                results[j][bi] = Some(stats);
+                cache.insert(
+                    (self.jobs[j].key.clone(), benchmarks[bi], events, self.warmup),
+                    stats,
+                );
+            }
+            for (j, job) in self.jobs.iter().enumerate() {
+                for (bi, &b) in benchmarks.iter().enumerate() {
+                    if results[j][bi].is_none() {
+                        let full_key = (job.key.clone(), b, events, self.warmup);
+                        results[j][bi] = Some(
+                            *cache
+                                .get(&full_key)
+                                .expect("duplicate-key slot filled by its representative"),
+                        );
+                        HITS.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        if log_enabled() {
+            let lookups = (self.jobs.len() * nb) as u64;
+            let sim = units.len() as u64;
+            eprintln!(
+                "[engine] sweep: {} configs x {} benchmarks = {} lookups, \
+                 {} simulated, {} cached, {:.2?}",
+                self.jobs.len(),
+                nb,
+                lookups,
+                sim,
+                lookups - sim,
+                t0.elapsed(),
+            );
+        }
+
+        results
+            .into_iter()
+            .map(|per_bench| {
+                SuiteResult::from_runs(
+                    benchmarks
+                        .iter()
+                        .zip(per_bench)
+                        .map(|(&b, s)| (b, s.expect("all slots filled")))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs one configuration through the engine (memoized [`Suite::run`]).
+#[must_use]
+pub fn run_config(suite: &Suite, cfg: PredictorConfig) -> SuiteResult {
+    let mut sweep = Sweep::new(suite);
+    sweep.config(cfg);
+    sweep.run().pop().expect("one result per config")
+}
+
+/// Runs a batch of configurations through the engine, returning results in
+/// input order.
+#[must_use]
+pub fn run_configs(suite: &Suite, configs: Vec<PredictorConfig>) -> Vec<SuiteResult> {
+    let mut sweep = Sweep::new(suite);
+    for cfg in configs {
+        sweep.config(cfg);
+    }
+    sweep.run()
+}
+
+/// Runs one custom predictor through the engine under an explicit memo key
+/// (see [`Sweep::custom`] for the key contract).
+#[must_use]
+pub fn run_custom<F>(suite: &Suite, key: impl Into<String>, make: F) -> SuiteResult
+where
+    F: Fn() -> Box<dyn Predictor> + Sync,
+{
+    let mut sweep = Sweep::new(suite);
+    sweep.custom(key, make);
+    sweep.run().pop().expect("one result per config")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_workload::Benchmark;
+
+    fn tiny_suite() -> Suite {
+        Suite::with_benchmarks_and_len(&[Benchmark::Ixx, Benchmark::Xlisp], 4_000)
+    }
+
+    /// The hit/miss counters are process-wide, so tests asserting exact
+    /// deltas must not interleave with other engine activity.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn sweep_matches_direct_suite_run() {
+        let _guard = serial();
+        let suite = tiny_suite();
+        let configs = vec![
+            PredictorConfig::btb(),
+            PredictorConfig::btb_2bc(),
+            PredictorConfig::unconstrained(3),
+            PredictorConfig::practical(2, 1024, 4),
+        ];
+        let engine_results = run_configs(&suite, configs.clone());
+        for (cfg, from_engine) in configs.into_iter().zip(engine_results) {
+            let direct = suite.run(|| cfg.build());
+            for b in suite.benchmarks() {
+                assert_eq!(
+                    from_engine.stats(b),
+                    direct.stats(b),
+                    "engine diverges from Suite::run for {b} under {}",
+                    cfg.cache_key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_config_hits_cache() {
+        let _guard = serial();
+        let suite = tiny_suite();
+        let cfg = PredictorConfig::unconstrained(5).with_pattern_budget(17);
+        let before = stats();
+        let first = run_config(&suite, cfg.clone());
+        let mid = stats();
+        assert_eq!(mid.since(before).misses, 2, "two fresh benchmarks");
+        let second = run_config(&suite, cfg);
+        let after = stats();
+        assert_eq!(after.since(mid).misses, 0, "everything memoized");
+        assert_eq!(after.since(mid).hits, 2);
+        for b in suite.benchmarks() {
+            assert_eq!(first.stats(b), second.stats(b));
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_sweep_simulate_once() {
+        let _guard = serial();
+        let suite = tiny_suite();
+        let cfg = PredictorConfig::unconstrained(7).with_pattern_budget(19);
+        let before = stats();
+        let mut sweep = Sweep::new(&suite);
+        sweep.config(cfg.clone()).config(cfg.clone()).config(cfg);
+        let results = sweep.run();
+        let delta = stats().since(before);
+        assert_eq!(results.len(), 3);
+        assert_eq!(delta.misses, 2, "one simulation per benchmark");
+        assert_eq!(delta.hits, 4, "the two duplicates are cache-filled");
+        assert_eq!(results[0].rates(), results[1].rates());
+        assert_eq!(results[0].rates(), results[2].rates());
+    }
+
+    #[test]
+    fn warmup_is_part_of_the_key() {
+        let _guard = serial();
+        let suite = tiny_suite();
+        let cfg = PredictorConfig::unconstrained(2).with_pattern_budget(21);
+        let cold = run_config(&suite, cfg.clone());
+        let mut sweep = Sweep::new(&suite);
+        sweep.warmup(1_000).config(cfg);
+        let warm = sweep.run().pop().expect("one result");
+        let b = Benchmark::Ixx;
+        assert!(warm.stats(b).expect("present").indirect < cold.stats(b).expect("present").indirect);
+    }
+
+    #[test]
+    fn custom_jobs_memoize_under_their_key() {
+        let _guard = serial();
+        let suite = tiny_suite();
+        let make = || PredictorConfig::unconstrained(9).with_pattern_budget(23).build();
+        let before = stats();
+        let first = run_custom(&suite, "test-custom-u9b23", make);
+        let second = run_custom(&suite, "test-custom-u9b23", make);
+        let delta = stats().since(before);
+        assert_eq!(delta.misses, 2);
+        assert_eq!(delta.hits, 2);
+        assert_eq!(first.rates(), second.rates());
+    }
+
+    #[test]
+    fn simulated_events_count_live_work_only() {
+        let _guard = serial();
+        let suite = tiny_suite();
+        let cfg = PredictorConfig::unconstrained(11).with_pattern_budget(13);
+        let before = stats();
+        let _ = run_config(&suite, cfg.clone());
+        let mid = stats();
+        assert_eq!(mid.since(before).simulated_events, 8_000, "2 traces x 4000");
+        let _ = run_config(&suite, cfg);
+        assert_eq!(stats().since(mid).simulated_events, 0);
+    }
+}

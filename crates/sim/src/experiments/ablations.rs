@@ -4,8 +4,13 @@
 use ibp_core::{HistoryElement, PredictorConfig};
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
+
+fn avg_rate(result: &crate::suite::SuiteResult) -> f64 {
+    result.group_rate(BenchmarkGroup::Avg).unwrap_or(0.0)
+}
 
 /// Table sizes used for the hybrid ablations (total entries).
 pub const SIZES: [usize; 3] = [1024, 4096, 16384];
@@ -22,18 +27,20 @@ pub fn confidence_width(suite: &Suite) -> Table {
         "§6.1: confidence counter width (hybrid 3.1, 4-way)",
         headers,
     );
+    let configs = SIZES
+        .iter()
+        .flat_map(|&size| {
+            (1..=4u8).map(move |bits| {
+                PredictorConfig::hybrid(3, 1, size / 2, 4).with_confidence_bits(bits)
+            })
+        })
+        .collect();
+    let mut results = engine::run_configs(suite, configs).into_iter();
     for size in SIZES {
         let mut row = vec![Cell::Count(size as u64)];
-        for bits in 1..=4u8 {
-            let rate = suite
-                .run(move || {
-                    PredictorConfig::hybrid(3, 1, size / 2, 4)
-                        .with_confidence_bits(bits)
-                        .build()
-                })
-                .group_rate(BenchmarkGroup::Avg)
-                .unwrap_or(0.0);
-            row.push(Cell::Percent(rate));
+        for _ in 1..=4u8 {
+            let result = results.next().expect("one result per config");
+            row.push(Cell::Percent(avg_rate(&result)));
         }
         t.push_row(row);
     }
@@ -63,9 +70,14 @@ pub fn history_variations(suite: &Suite) -> Table {
             PredictorConfig::unconstrained(p).with_history_element(HistoryElement::AddressXorTarget)
         }),
     ];
+    let configs = [3usize, 8]
+        .iter()
+        .flat_map(|&p| variants.iter().map(move |(_, make)| make(p)))
+        .collect();
+    let mut results = engine::run_configs(suite, configs).into_iter();
     for p in [3usize, 8] {
-        for (label, make) in variants {
-            let result = suite.run(move || make(p).build());
+        for (label, _) in variants {
+            let result = results.next().expect("one result per config");
             t.push_row(vec![
                 Cell::from(label),
                 Cell::Count(p as u64),
@@ -87,15 +99,19 @@ pub fn metapredictor(suite: &Suite) -> Table {
         "§6.1: metapredictor comparison (hybrid 3.1, 4-way)",
         ["size", "confidence counters", "BPST"],
     );
+    let configs = SIZES
+        .iter()
+        .flat_map(|&size| {
+            [
+                PredictorConfig::hybrid(3, 1, size / 2, 4),
+                PredictorConfig::bpst(3, 1, size / 2, 4),
+            ]
+        })
+        .collect();
+    let mut results = engine::run_configs(suite, configs).into_iter();
     for size in SIZES {
-        let conf = suite
-            .run(move || PredictorConfig::hybrid(3, 1, size / 2, 4).build())
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
-        let bpst = suite
-            .run(move || PredictorConfig::bpst(3, 1, size / 2, 4).build())
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
+        let conf = avg_rate(&results.next().expect("one result per config"));
+        let bpst = avg_rate(&results.next().expect("one result per config"));
         t.push_row(vec![
             Cell::Count(size as u64),
             Cell::Percent(conf),
@@ -114,19 +130,20 @@ pub fn update_rule(suite: &Suite) -> Table {
         "§3.2: update rule (unconstrained two-level)",
         ["p", "always-update", "2bc"],
     );
-    for p in [0usize, 1, 3, 6, 8] {
-        let always = suite
-            .run(move || {
-                PredictorConfig::unconstrained(p)
-                    .with_update_rule(ibp_core::UpdateRule::Always)
-                    .build()
-            })
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
-        let two_bit = suite
-            .run(move || PredictorConfig::unconstrained(p).build())
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
+    const P_VALUES: [usize; 5] = [0, 1, 3, 6, 8];
+    let configs = P_VALUES
+        .iter()
+        .flat_map(|&p| {
+            [
+                PredictorConfig::unconstrained(p).with_update_rule(ibp_core::UpdateRule::Always),
+                PredictorConfig::unconstrained(p),
+            ]
+        })
+        .collect();
+    let mut results = engine::run_configs(suite, configs).into_iter();
+    for p in P_VALUES {
+        let always = avg_rate(&results.next().expect("one result per config"));
+        let two_bit = avg_rate(&results.next().expect("one result per config"));
         t.push_row(vec![
             Cell::Count(p as u64),
             Cell::Percent(always),
@@ -160,10 +177,7 @@ mod tests {
     fn cond_pollution_hurts_at_the_optimum() {
         let suite = tiny_suite();
         let t = history_variations(&suite);
-        let avg = |row: usize| match t.rows()[row][2] {
-            Cell::Percent(p) => p,
-            _ => panic!("percent"),
-        };
+        let avg = |row: usize| t.expect_percent(row, 2);
         // Rows 0..3 are the p = 3 block: polluting the history with
         // conditional targets is worse than plain target histories at the
         // plain optimum.

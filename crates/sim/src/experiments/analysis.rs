@@ -114,13 +114,10 @@ mod tests {
     fn attribution_components_sum_to_total() {
         let suite = tiny_suite();
         let t = miss_attribution(&suite);
-        for row in t.rows() {
-            let pct = |i: usize| match row[i] {
-                Cell::Percent(p) => p,
-                _ => panic!("percent cell"),
-            };
-            let total = pct(2);
-            let parts = pct(3) + pct(4) + pct(5);
+        for row in 0..t.rows().len() {
+            let total = t.expect_percent(row, 2);
+            let parts =
+                t.expect_percent(row, 3) + t.expect_percent(row, 4) + t.expect_percent(row, 5);
             assert!((total - parts).abs() < 1e-9, "{total} vs {parts}");
         }
     }
@@ -129,10 +126,7 @@ mod tests {
     fn capacity_share_shrinks_with_size() {
         let suite = tiny_suite();
         let t = miss_attribution(&suite);
-        let cap = |row: usize| match t.rows()[row][3] {
-            Cell::Percent(p) => p,
-            _ => panic!("percent cell"),
-        };
+        let cap = |row: usize| t.expect_percent(row, 3);
         assert!(cap(0) >= cap(2), "256-entry {} vs 8K {}", cap(0), cap(2));
     }
 

@@ -7,6 +7,7 @@ use ibp_core::{CompressedKeySpec, Predictor, PredictorConfig, TwoLevelPredictor}
 use ibp_trace::TraceEvent;
 use ibp_workload::{Benchmark, BenchmarkGroup};
 
+use crate::engine::Sweep;
 use crate::parallel_map;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
@@ -35,52 +36,49 @@ pub fn run(suite: &Suite) -> Vec<Table> {
             "ittage-lite",
         ],
     );
+    let mut sweep = Sweep::new(suite);
     for total in BUDGETS {
-        let hybrid = suite
-            .run(move || PredictorConfig::hybrid(5, 1, total / 2, 4).build())
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
-        let multi = suite
-            .run(move || {
-                Box::new(MultiHybridPredictor::new(vec![
-                    TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(6), total / 4, 4),
-                    TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(3), total / 4, 4),
-                    TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(1), total / 2, 4),
-                ])) as Box<dyn ibp_core::Predictor>
-            })
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
-        let cascade = suite
-            .run(move || {
-                Box::new(CascadePredictor::new(vec![
-                    TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(6), total / 4, 4),
-                    TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(3), total / 4, 4),
-                    TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(1), total / 2, 4),
-                ])) as Box<dyn ibp_core::Predictor>
-            })
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
-        let shared = suite
-            .run(move || {
-                Box::new(SharedTableHybrid::new(
-                    vec![
-                        CompressedKeySpec::practical(5),
-                        CompressedKeySpec::practical(1),
-                    ],
-                    total,
-                    4,
-                )) as Box<dyn ibp_core::Predictor>
-            })
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
-        let ittage = suite
-            .run(move || {
-                // 4 tagged tables sharing the budget, geometric histories
-                // 2/4/8/16, plus the base BTB.
-                Box::new(IttageLite::new(total / 4, 4, 2)) as Box<dyn ibp_core::Predictor>
-            })
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
+        sweep.config(PredictorConfig::hybrid(5, 1, total / 2, 4));
+        sweep.custom(format!("ext::MultiHybrid[6,3,1]({total}, 4-way)"), move || {
+            Box::new(MultiHybridPredictor::new(vec![
+                TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(6), total / 4, 4),
+                TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(3), total / 4, 4),
+                TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(1), total / 2, 4),
+            ])) as Box<dyn Predictor>
+        });
+        sweep.custom(format!("ext::Cascade[6,3,1]({total}, 4-way)"), move || {
+            Box::new(CascadePredictor::new(vec![
+                TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(6), total / 4, 4),
+                TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(3), total / 4, 4),
+                TwoLevelPredictor::set_assoc(CompressedKeySpec::practical(1), total / 2, 4),
+            ])) as Box<dyn Predictor>
+        });
+        sweep.custom(format!("ext::SharedTable[5,1]({total}, 4-way)"), move || {
+            Box::new(SharedTableHybrid::new(
+                vec![
+                    CompressedKeySpec::practical(5),
+                    CompressedKeySpec::practical(1),
+                ],
+                total,
+                4,
+            )) as Box<dyn Predictor>
+        });
+        // 4 tagged tables sharing the budget, geometric histories 2/4/8/16,
+        // plus the base BTB.
+        sweep.custom(format!("ext::IttageLite({total}/4, 4, 2)"), move || {
+            Box::new(IttageLite::new(total / 4, 4, 2)) as Box<dyn Predictor>
+        });
+    }
+    let mut results = sweep.run().into_iter();
+    for total in BUDGETS {
+        let mut rate = || -> f64 {
+            results
+                .next()
+                .expect("one result per predictor")
+                .group_rate(BenchmarkGroup::Avg)
+                .unwrap_or(0.0)
+        };
+        let (hybrid, multi, cascade, shared, ittage) = (rate(), rate(), rate(), rate(), rate());
         t.push_row(vec![
             Cell::Count(total as u64),
             Cell::Percent(hybrid),
@@ -186,10 +184,7 @@ mod tests {
     fn ahead_accuracy_decays_with_depth() {
         let suite = Suite::with_benchmarks_and_len(&[Benchmark::Xlisp], 12_000);
         let t = ahead_accuracy(&suite);
-        let rate = |row: usize| match t.rows()[row][1] {
-            Cell::Percent(p) => p,
-            _ => panic!("percent"),
-        };
+        let rate = |row: usize| t.expect_percent(row, 1);
         // Depth-1 accuracy is substantial and deeper lookaheads do not
         // beat shallower ones.
         assert!(rate(0) > 0.3, "depth-1 {}", rate(0));
@@ -202,14 +197,12 @@ mod tests {
     fn all_variants_predict_sensibly() {
         let suite = Suite::with_benchmarks_and_len(&[Benchmark::Ixx, Benchmark::Porky], 12_000);
         let t = &run(&suite)[0];
-        for row in t.rows() {
-            for cell in &row[1..] {
-                let Cell::Percent(r) = cell else {
-                    panic!("percent cell")
-                };
+        for row in 0..t.rows().len() {
+            for col in 1..t.headers().len() {
+                let r = t.expect_percent(row, col);
                 // Every §8.1 variant must beat an always-miss predictor by a
                 // wide margin.
-                assert!((0.0..0.5).contains(r), "rate {r}");
+                assert!((0.0..0.5).contains(&r), "rate {r}");
             }
         }
     }

@@ -3,6 +3,7 @@
 use ibp_core::PredictorConfig;
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
 
@@ -26,19 +27,23 @@ pub fn run(suite: &Suite) -> Vec<Table> {
         "Figure 10: limited-precision patterns (AVG, unconstrained tables)",
         headers,
     );
+    // One flat (p x precision) grid through the engine.
+    let mut configs = Vec::new();
+    for p in 0..=12usize {
+        for &b in &PRECISIONS {
+            configs.push(PredictorConfig::unconstrained(p).with_precision(b));
+        }
+        configs.push(PredictorConfig::unconstrained(p));
+    }
+    let mut results = engine::run_configs(suite, configs).into_iter();
     for p in 0..=12usize {
         let mut row = vec![Cell::Count(p as u64)];
-        for &b in &PRECISIONS {
-            let result =
-                suite.run(move || PredictorConfig::unconstrained(p).with_precision(b).build());
+        for _ in 0..=PRECISIONS.len() {
+            let result = results.next().expect("one result per config");
             row.push(Cell::Percent(
                 result.group_rate(BenchmarkGroup::Avg).unwrap_or(0.0),
             ));
         }
-        let full = suite.run(move || PredictorConfig::unconstrained(p).build());
-        row.push(Cell::Percent(
-            full.group_rate(BenchmarkGroup::Avg).unwrap_or(0.0),
-        ));
         t.push_row(row);
     }
     vec![t]
@@ -49,12 +54,6 @@ mod tests {
     use super::*;
     use ibp_workload::Benchmark;
 
-    fn cell(t: &Table, row: usize, col: usize) -> f64 {
-        match t.rows()[row][col] {
-            Cell::Percent(p) => p,
-            _ => panic!("percent cell"),
-        }
-    }
 
     #[test]
     fn eight_bits_track_full_precision() {
@@ -62,8 +61,8 @@ mod tests {
         let t = &run(&suite)[0];
         // Columns: p, b=1, b=2, b=3, b=4, b=8, full.
         for row in 2..=6 {
-            let b8 = cell(t, row, 5);
-            let full = cell(t, row, 6);
+            let b8 = t.expect_percent(row, 5);
+            let full = t.expect_percent(row, 6);
             assert!(
                 (b8 - full).abs() < 0.02,
                 "row {row}: b=8 {b8} vs full {full}"
@@ -76,8 +75,8 @@ mod tests {
         let suite = Suite::with_benchmarks_and_len(&[Benchmark::Ixx, Benchmark::Porky], 15_000);
         let t = &run(&suite)[0];
         // Penalty of b=1 vs full at p=2 exceeds the penalty at p=10.
-        let short = cell(t, 2, 1) - cell(t, 2, 6);
-        let long = cell(t, 10, 1) - cell(t, 10, 6);
+        let short = t.expect_percent(2, 1) - t.expect_percent(2, 6);
+        let long = t.expect_percent(10, 1) - t.expect_percent(10, 6);
         assert!(short > long - 0.01, "short {short} vs long {long}");
     }
 }

@@ -3,6 +3,7 @@
 use ibp_core::PredictorConfig;
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::experiments::TABLE_SIZES;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
@@ -22,11 +23,18 @@ pub fn run(suite: &Suite) -> Vec<Table> {
     let mut headers = vec!["size".to_string()];
     headers.extend(PATHS.iter().map(|p| format!("p={p}")));
     let mut t = Table::new("Figure 11: fully-associative tables (AVG, LRU)", headers);
+    // One flat (size x p) grid through the engine.
+    let configs = TABLE_SIZES
+        .iter()
+        .flat_map(|&size| PATHS.iter().map(move |&p| PredictorConfig::full_assoc(p, size)))
+        .collect();
+    let mut results = engine::run_configs(suite, configs).into_iter();
     for size in TABLE_SIZES {
         let mut row = vec![Cell::Count(size as u64)];
-        for &p in &PATHS {
-            let rate = suite
-                .run(move || PredictorConfig::full_assoc(p, size).build())
+        for _ in PATHS {
+            let rate = results
+                .next()
+                .expect("one result per config")
                 .group_rate(BenchmarkGroup::Avg)
                 .unwrap_or(0.0);
             row.push(Cell::Percent(rate));
@@ -41,12 +49,6 @@ mod tests {
     use super::*;
     use ibp_workload::Benchmark;
 
-    fn rate(t: &Table, row: usize, col: usize) -> f64 {
-        match t.rows()[row][col] {
-            Cell::Percent(p) => p,
-            _ => panic!("percent cell"),
-        }
-    }
 
     #[test]
     fn bigger_tables_help_and_long_paths_need_them() {
@@ -56,10 +58,10 @@ mod tests {
         let smallest = 0;
         let largest = t.rows().len() - 1;
         // For a mid path length, a larger table is at least as good.
-        let p3_small = rate(t, smallest, 4);
-        let p3_large = rate(t, largest, 4);
+        let p3_small = t.expect_percent(smallest, 4);
+        let p3_large = t.expect_percent(largest, 4);
         assert!(p3_large <= p3_small + 0.01);
         // At tiny sizes, short paths beat long ones (capacity misses).
-        assert!(rate(t, smallest, 2) < rate(t, smallest, 9));
+        assert!(t.expect_percent(smallest, 2) < t.expect_percent(smallest, 9));
     }
 }

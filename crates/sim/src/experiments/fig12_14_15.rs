@@ -3,6 +3,7 @@
 use ibp_core::{Associativity, Interleaving, PredictorConfig};
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
 
@@ -25,16 +26,23 @@ fn sweep(suite: &Suite, interleaving: Interleaving, title: &str) -> Table {
     let mut headers = vec!["p".to_string()];
     headers.extend(ASSOCS.iter().map(|&a| assoc_label(a)));
     let mut t = Table::new(title, headers);
+    // One flat (p x associativity) grid through the engine.
+    let configs = (0..=12usize)
+        .flat_map(|p| {
+            ASSOCS.iter().map(move |&assoc| {
+                PredictorConfig::practical(p, TABLE_ENTRIES, 1)
+                    .with_associativity(assoc)
+                    .with_interleaving(interleaving)
+            })
+        })
+        .collect();
+    let mut results = engine::run_configs(suite, configs).into_iter();
     for p in 0..=12usize {
         let mut row = vec![Cell::Count(p as u64)];
-        for &assoc in &ASSOCS {
-            let rate = suite
-                .run(move || {
-                    PredictorConfig::practical(p, TABLE_ENTRIES, 1)
-                        .with_associativity(assoc)
-                        .with_interleaving(interleaving)
-                        .build()
-                })
+        for _ in ASSOCS {
+            let rate = results
+                .next()
+                .expect("one result per config")
                 .group_rate(BenchmarkGroup::Avg)
                 .unwrap_or(0.0);
             row.push(Cell::Percent(rate));
@@ -75,15 +83,20 @@ pub fn run(suite: &Suite) -> Vec<Table> {
         "Figure 15 companion: interleaving schemes (4096-entry, 1-way)",
         headers,
     );
+    let configs = (0..=12usize)
+        .flat_map(|p| {
+            Interleaving::ALL.iter().map(move |&scheme| {
+                PredictorConfig::practical(p, TABLE_ENTRIES, 1).with_interleaving(scheme)
+            })
+        })
+        .collect();
+    let mut results = engine::run_configs(suite, configs).into_iter();
     for p in 0..=12usize {
         let mut row = vec![Cell::Count(p as u64)];
-        for &scheme in &Interleaving::ALL {
-            let rate = suite
-                .run(move || {
-                    PredictorConfig::practical(p, TABLE_ENTRIES, 1)
-                        .with_interleaving(scheme)
-                        .build()
-                })
+        for _ in Interleaving::ALL {
+            let rate = results
+                .next()
+                .expect("one result per config")
                 .group_rate(BenchmarkGroup::Avg)
                 .unwrap_or(0.0);
             row.push(Cell::Percent(rate));
@@ -98,12 +111,6 @@ mod tests {
     use super::*;
     use ibp_workload::Benchmark;
 
-    fn rate(t: &Table, row: usize, col: usize) -> f64 {
-        match t.rows()[row][col] {
-            Cell::Percent(p) => p,
-            _ => panic!("percent cell"),
-        }
-    }
 
     #[test]
     fn interleaving_beats_concatenation_at_long_paths() {
@@ -112,7 +119,7 @@ mod tests {
         let (fig12, fig14) = (&tables[0], &tables[1]);
         // Column 2 = 1-way. Average over the longer paths where layout
         // matters (p >= 4).
-        let mean = |t: &Table| -> f64 { (4..=12).map(|p| rate(t, p, 2)).sum::<f64>() / 9.0 };
+        let mean = |t: &Table| -> f64 { (4..=12).map(|p| t.expect_percent(p, 2)).sum::<f64>() / 9.0 };
         let concat = mean(fig12);
         let reverse = mean(fig14);
         assert!(
@@ -126,8 +133,8 @@ mod tests {
         let suite = Suite::with_benchmarks_and_len(&[Benchmark::Ixx, Benchmark::Porky], 15_000);
         let fig14 = &run(&suite)[1];
         // 4-way (col 4) <= 1-way (col 2) averaged over p = 1..=6.
-        let one: f64 = (1..=6).map(|p| rate(fig14, p, 2)).sum::<f64>();
-        let four: f64 = (1..=6).map(|p| rate(fig14, p, 4)).sum::<f64>();
+        let one: f64 = (1..=6).map(|p| fig14.expect_percent(p, 2)).sum::<f64>();
+        let four: f64 = (1..=6).map(|p| fig14.expect_percent(p, 4)).sum::<f64>();
         assert!(four <= one + 0.01, "4-way {four} vs 1-way {one}");
     }
 }

@@ -4,6 +4,7 @@
 use ibp_core::{Associativity, PredictorConfig};
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
 
@@ -35,15 +36,21 @@ pub fn run(suite: &Suite) -> Vec<Table> {
             format!("Figure 16: AVG misprediction, {assoc} tables"),
             headers,
         );
+        // One flat (p x size) grid per panel through the engine.
+        let configs = (0..=12usize)
+            .flat_map(|p| {
+                SIZES.iter().map(move |&size| {
+                    PredictorConfig::practical(p, size, 1).with_associativity(assoc)
+                })
+            })
+            .collect();
+        let mut results = engine::run_configs(suite, configs).into_iter();
         for p in 0..=12usize {
             let mut row = vec![Cell::Count(p as u64)];
-            for &size in &SIZES {
-                let rate = suite
-                    .run(move || {
-                        PredictorConfig::practical(p, size, 1)
-                            .with_associativity(assoc)
-                            .build()
-                    })
+            for _ in SIZES {
+                let rate = results
+                    .next()
+                    .expect("one result per config")
                     .group_rate(BenchmarkGroup::Avg)
                     .unwrap_or(0.0);
                 row.push(Cell::Percent(rate));
@@ -60,12 +67,6 @@ mod tests {
     use super::*;
     use ibp_workload::Benchmark;
 
-    fn rate(t: &Table, row: usize, col: usize) -> f64 {
-        match t.rows()[row][col] {
-            Cell::Percent(p) => p,
-            _ => panic!("percent cell"),
-        }
-    }
 
     #[test]
     fn best_path_grows_with_size() {
@@ -74,8 +75,9 @@ mod tests {
         let best_p = |col: usize| -> usize {
             (0..=12)
                 .min_by(|&a, &b| {
-                    rate(four_way, a, col)
-                        .partial_cmp(&rate(four_way, b, col))
+                    four_way
+                        .expect_percent(a, col)
+                        .partial_cmp(&four_way.expect_percent(b, col))
                         .unwrap()
                 })
                 .unwrap()
@@ -89,6 +91,6 @@ mod tests {
         let suite = Suite::with_benchmarks_and_len(&[Benchmark::Ixx, Benchmark::Porky], 15_000);
         let four_way = &run(&suite)[2];
         // p = 3 row: last size <= first size.
-        assert!(rate(four_way, 3, 9) <= rate(four_way, 3, 1) + 0.01);
+        assert!(four_way.expect_percent(3, 9) <= four_way.expect_percent(3, 1) + 0.01);
     }
 }

@@ -3,6 +3,7 @@
 use ibp_core::PredictorConfig;
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
 
@@ -30,19 +31,27 @@ pub fn run(suite: &Suite) -> Vec<Table> {
             format!("Figure 17: hybrid AVG hit rate, {size}-entry 4-way components"),
             headers,
         );
+        // The whole (p1 x p2) surface as one flat engine sweep; the
+        // diagonal is a non-hybrid of twice the component size.
+        let configs = (0..=MAX_P)
+            .flat_map(|p1| {
+                (0..=MAX_P).map(move |p2| {
+                    if p1 == p2 {
+                        PredictorConfig::practical(p1, 2 * size, 4)
+                    } else {
+                        PredictorConfig::hybrid(p1, p2, size, 4)
+                    }
+                })
+            })
+            .collect();
+        let mut results = engine::run_configs(suite, configs).into_iter();
         for p1 in 0..=MAX_P {
             let mut row = vec![Cell::Count(p1 as u64)];
-            for p2 in 0..=MAX_P {
-                let rate = if p1 == p2 {
-                    // Diagonal: non-hybrid of twice the component size.
-                    suite
-                        .run(move || PredictorConfig::practical(p1, 2 * size, 4).build())
-                        .group_rate(BenchmarkGroup::Avg)
-                } else {
-                    suite
-                        .run(move || PredictorConfig::hybrid(p1, p2, size, 4).build())
-                        .group_rate(BenchmarkGroup::Avg)
-                };
+            for _ in 0..=MAX_P {
+                let rate = results
+                    .next()
+                    .expect("one result per config")
+                    .group_rate(BenchmarkGroup::Avg);
                 row.push(Cell::Percent(1.0 - rate.unwrap_or(1.0)));
             }
             t.push_row(row);

@@ -4,6 +4,7 @@
 use ibp_core::{Associativity, PredictorConfig};
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::experiments::TABLE_SIZES;
 use crate::report::{Cell, Table};
 use crate::suite::{Suite, SuiteResult};
@@ -191,9 +192,13 @@ pub fn best_cell(
     size: usize,
     opts: &Options,
 ) -> Option<BestCell> {
+    let candidates = candidates(class, size, opts);
+    let results = engine::run_configs(
+        suite,
+        candidates.iter().map(|(_, cfg)| cfg.clone()).collect(),
+    );
     let mut best: Option<(f64, String, SuiteResult)> = None;
-    for (label, cfg) in candidates(class, size, opts) {
-        let result = suite.run(|| cfg.build());
+    for ((label, _), result) in candidates.into_iter().zip(results) {
         let avg = result.avg();
         let better = best.as_ref().is_none_or(|(b, _, _)| avg < *b);
         if better {

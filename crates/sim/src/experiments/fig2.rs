@@ -3,6 +3,7 @@
 use ibp_core::PredictorConfig;
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
 
@@ -13,8 +14,11 @@ use crate::suite::Suite;
 /// OO programs around 20 % and C programs around 37 %.
 #[must_use]
 pub fn run(suite: &Suite) -> Vec<Table> {
-    let btb = suite.run(|| PredictorConfig::btb().build());
-    let btb2 = suite.run(|| PredictorConfig::btb_2bc().build());
+    let results = engine::run_configs(
+        suite,
+        vec![PredictorConfig::btb(), PredictorConfig::btb_2bc()],
+    );
+    let (btb, btb2) = (&results[0], &results[1]);
 
     let mut t = Table::new(
         "Figure 2: unconstrained BTB misprediction rates",
@@ -65,9 +69,10 @@ mod tests {
             .iter()
             .find(|r| matches!(&r[0], Cell::Text(s) if s == "AVG"))
             .expect("AVG row");
-        let (Cell::Percent(plain), Cell::Percent(two_bit)) = (&avg[1], &avg[2]) else {
-            panic!("percent cells expected");
-        };
+        let (plain, two_bit) = (
+            avg[1].as_percent().expect("BTB rate"),
+            avg[2].as_percent().expect("BTB-2bc rate"),
+        );
         assert!(two_bit <= plain, "2bc {two_bit} vs always {plain}");
     }
 }

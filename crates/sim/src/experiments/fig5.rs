@@ -2,6 +2,7 @@
 
 use ibp_core::{HistorySharing, PredictorConfig};
 
+use crate::engine;
 use crate::experiments::{group_headers, group_row};
 use crate::report::Table;
 use crate::suite::Suite;
@@ -22,13 +23,14 @@ pub fn run(suite: &Suite) -> Vec<Table> {
         "Figure 5: history sharing (p=8, per-branch tables)",
         group_headers("s"),
     );
-    for s in S_VALUES {
-        let result = suite.run(move || {
-            PredictorConfig::unconstrained(8)
-                .with_history_sharing(HistorySharing::per_set(s))
-                .build()
-        });
-        t.push_row(group_row(u64::from(s), &result));
+    let configs = S_VALUES
+        .iter()
+        .map(|&s| {
+            PredictorConfig::unconstrained(8).with_history_sharing(HistorySharing::per_set(s))
+        })
+        .collect();
+    for (s, result) in S_VALUES.iter().zip(engine::run_configs(suite, configs)) {
+        t.push_row(group_row(u64::from(*s), &result));
     }
     vec![t]
 }
@@ -36,7 +38,6 @@ pub fn run(suite: &Suite) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::report::Cell;
     use ibp_workload::Benchmark;
 
     #[test]
@@ -46,13 +47,9 @@ mod tests {
             20_000,
         );
         let tables = run(&suite);
-        let rows = tables[0].rows();
-        let avg_of = |row: &[Cell]| match row[1] {
-            Cell::Percent(p) => p,
-            _ => panic!("AVG cell"),
-        };
-        let per_address = avg_of(&rows[0]); // s = 2
-        let global = avg_of(rows.last().unwrap()); // s = 31
+        let t = &tables[0];
+        let per_address = t.expect_percent(0, 1); // s = 2
+        let global = t.expect_percent(t.rows().len() - 1, 1); // s = 31
         assert!(
             global < per_address,
             "global {global} vs per-address {per_address}"

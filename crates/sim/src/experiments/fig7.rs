@@ -2,6 +2,7 @@
 
 use ibp_core::{PredictorConfig, TableSharing};
 
+use crate::engine;
 use crate::experiments::{group_headers, group_row};
 use crate::report::Table;
 use crate::suite::Suite;
@@ -21,13 +22,12 @@ pub fn run(suite: &Suite) -> Vec<Table> {
         "Figure 7: history table sharing (p=8, global history)",
         group_headers("h"),
     );
-    for h in H_VALUES {
-        let result = suite.run(move || {
-            PredictorConfig::unconstrained(8)
-                .with_table_sharing(TableSharing::per_set(h))
-                .build()
-        });
-        t.push_row(group_row(u64::from(h), &result));
+    let configs = H_VALUES
+        .iter()
+        .map(|&h| PredictorConfig::unconstrained(8).with_table_sharing(TableSharing::per_set(h)))
+        .collect();
+    for (h, result) in H_VALUES.iter().zip(engine::run_configs(suite, configs)) {
+        t.push_row(group_row(u64::from(*h), &result));
     }
     vec![t]
 }
@@ -35,7 +35,6 @@ pub fn run(suite: &Suite) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::report::Cell;
     use ibp_workload::Benchmark;
 
     #[test]
@@ -45,13 +44,9 @@ mod tests {
             20_000,
         );
         let tables = run(&suite);
-        let rows = tables[0].rows();
-        let avg_of = |row: &[Cell]| match row[1] {
-            Cell::Percent(p) => p,
-            _ => panic!("AVG cell"),
-        };
-        let per_address = avg_of(&rows[0]); // h = 2
-        let shared = avg_of(rows.last().unwrap()); // h = 31
+        let t = &tables[0];
+        let per_address = t.expect_percent(0, 1); // h = 2
+        let shared = t.expect_percent(t.rows().len() - 1, 1); // h = 31
         assert!(
             per_address < shared,
             "per-address {per_address} vs shared {shared}"

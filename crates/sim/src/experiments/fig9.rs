@@ -2,9 +2,10 @@
 
 use ibp_core::{PredictorConfig, MAX_PATH};
 
+use crate::engine;
 use crate::experiments::{group_headers, group_row};
 use crate::report::Table;
-use crate::suite::Suite;
+use crate::suite::{Suite, SuiteResult};
 
 /// Sweeps path length 0..=18 for the unconstrained two-level predictor
 /// (global history, per-address tables).
@@ -18,8 +19,8 @@ pub fn run(suite: &Suite) -> Vec<Table> {
         "Figure 9: path length sweep (global history, per-address tables)",
         group_headers("p"),
     );
-    for p in 0..=MAX_PATH {
-        let result = suite.run(move || PredictorConfig::unconstrained(p).build());
+    let configs = (0..=MAX_PATH).map(PredictorConfig::unconstrained).collect();
+    for (p, result) in engine::run_configs(suite, configs).into_iter().enumerate() {
         t.push_row(group_row(p as u64, &result));
     }
     vec![t]
@@ -28,12 +29,10 @@ pub fn run(suite: &Suite) -> Vec<Table> {
 /// The AVG series of the sweep, for tests and downstream tooling.
 #[must_use]
 pub fn avg_series(suite: &Suite) -> Vec<f64> {
-    (0..=MAX_PATH)
-        .map(|p| {
-            suite
-                .run(move || PredictorConfig::unconstrained(p).build())
-                .avg()
-        })
+    let configs = (0..=MAX_PATH).map(PredictorConfig::unconstrained).collect();
+    engine::run_configs(suite, configs)
+        .iter()
+        .map(SuiteResult::avg)
         .collect()
 }
 

@@ -11,6 +11,7 @@
 use ibp_core::{Associativity, PredictorConfig};
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
 
@@ -58,24 +59,39 @@ pub fn run(suite: &Suite) -> Vec<Table> {
         "§5.2.2: equal hardware budget (storage bits, best p in 1..=5)",
         headers,
     );
+    // Resolve every cell's entry count first, then evaluate the whole
+    // (budget × organisation × p) space as one flat sweep.
+    let cells: Vec<Option<usize>> = BUDGETS_KBIT
+        .iter()
+        .flat_map(|&kbit| {
+            ORGS.map(|(_, assoc)| entries_for_budget(assoc, kbit * 1024))
+        })
+        .collect();
+    let configs = cells
+        .iter()
+        .zip(BUDGETS_KBIT.iter().flat_map(|_| ORGS))
+        .filter_map(|(&entries, (_, assoc))| entries.map(|e| (e, assoc)))
+        .flat_map(|(entries, assoc)| {
+            (1..=5usize)
+                .map(move |p| PredictorConfig::practical(p, entries, 1).with_associativity(assoc))
+        })
+        .collect();
+    let mut results = engine::run_configs(suite, configs).into_iter();
+    let mut cells = cells.into_iter();
     for kbit in BUDGETS_KBIT {
-        let budget = kbit * 1024;
         let mut row = vec![Cell::Text(format!("{kbit} Kbit"))];
-        for (_, assoc) in ORGS {
-            match entries_for_budget(assoc, budget) {
+        for _ in ORGS {
+            match cells.next().expect("one cell per budget and organisation") {
                 None => {
                     row.push(Cell::Empty);
                     row.push(Cell::Empty);
                 }
                 Some(entries) => {
                     let best = (1..=5usize)
-                        .map(|p| {
-                            suite
-                                .run(move || {
-                                    PredictorConfig::practical(p, entries, 1)
-                                        .with_associativity(assoc)
-                                        .build()
-                                })
+                        .map(|_| {
+                            results
+                                .next()
+                                .expect("one result per config")
                                 .group_rate(BenchmarkGroup::Avg)
                                 .unwrap_or(1.0)
                         })

@@ -20,6 +20,7 @@ use ibp_core::ext::TargetCache;
 use ibp_core::PredictorConfig;
 use ibp_workload::{Benchmark, BenchmarkGroup};
 
+use crate::engine::Sweep;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
 
@@ -34,39 +35,28 @@ pub fn run(suite: &Suite) -> Vec<Table> {
         "§7: related work at a 512-entry budget",
         ["predictor", "gcc", "AVG", "AVG-OO", "AVG-C"],
     );
-    type Make = Box<dyn Fn() -> Box<dyn ibp_core::Predictor> + Sync>;
-    let configs: Vec<(&str, Make)> = vec![
-        (
-            "BTB-2bc (unconstrained)",
-            Box::new(|| PredictorConfig::btb_2bc().build()),
-        ),
-        (
-            "Target Cache gshare(2), tagless",
-            Box::new(|| Box::new(TargetCache::new(2, ENTRIES))),
-        ),
-        (
-            "Target Cache gshare(5), tagless",
-            Box::new(|| Box::new(TargetCache::new(5, ENTRIES))),
-        ),
-        (
-            "Target Cache gshare(9), tagless",
-            Box::new(|| Box::new(TargetCache::new(9, ENTRIES))),
-        ),
-        (
-            "this paper: p=3 tagless",
-            Box::new(|| PredictorConfig::tagless(3, ENTRIES).build()),
-        ),
-        (
-            "this paper: p=2 4-way",
-            Box::new(|| PredictorConfig::practical(2, ENTRIES, 4).build()),
-        ),
-        (
-            "this paper: hybrid 3.1 4-way",
-            Box::new(|| PredictorConfig::hybrid(3, 1, ENTRIES / 2, 4).build()),
-        ),
+    let labels = [
+        "BTB-2bc (unconstrained)",
+        "Target Cache gshare(2), tagless",
+        "Target Cache gshare(5), tagless",
+        "Target Cache gshare(9), tagless",
+        "this paper: p=3 tagless",
+        "this paper: p=2 4-way",
+        "this paper: hybrid 3.1 4-way",
     ];
-    for (label, make) in &configs {
-        let result = suite.run(|| make());
+    let mut sweep = Sweep::new(suite);
+    sweep.config(PredictorConfig::btb_2bc());
+    for g in [2, 5, 9] {
+        sweep.custom(
+            format!("ext::TargetCache(gshare={g}, entries={ENTRIES})"),
+            move || Box::new(TargetCache::new(g, ENTRIES)),
+        );
+    }
+    sweep
+        .config(PredictorConfig::tagless(3, ENTRIES))
+        .config(PredictorConfig::practical(2, ENTRIES, 4))
+        .config(PredictorConfig::hybrid(3, 1, ENTRIES / 2, 4));
+    for (label, result) in labels.iter().zip(sweep.run()) {
         t.push_row(vec![
             Cell::from(*label),
             match result.rate(Benchmark::Gcc) {
@@ -94,10 +84,7 @@ mod tests {
             20_000,
         );
         let t = &run(&suite)[0];
-        let avg = |row: usize| match t.rows()[row][2] {
-            Cell::Percent(p) => p,
-            _ => panic!("percent"),
-        };
+        let avg = |row: usize| t.expect_percent(row, 2);
         let gshare9 = avg(3);
         let p3_tagless = avg(4);
         let hybrid = avg(6);

@@ -74,10 +74,7 @@ mod tests {
     fn longer_traces_flatten_the_tail() {
         let tables = run_with_lengths(&[10_000, 80_000]);
         let t = &tables[0];
-        let excess = |row: usize| match *t.rows()[row].last().unwrap() {
-            Cell::Percent(p) => p,
-            _ => panic!("percent cell"),
-        };
+        let excess = |row: usize| t.expect_percent(row, t.headers().len() - 1);
         assert!(
             excess(1) < excess(0),
             "80k excess {} should be below 10k excess {}",

@@ -3,6 +3,7 @@
 use ibp_core::PredictorConfig;
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
 
@@ -19,15 +20,14 @@ use crate::suite::Suite;
 #[must_use]
 pub fn run(suite: &Suite) -> Vec<Table> {
     let avg = |cfg: PredictorConfig| -> f64 {
-        suite
-            .run(move || cfg.build())
+        engine::run_config(suite, cfg)
             .group_rate(BenchmarkGroup::Avg)
             .unwrap_or(0.0)
     };
     let best_over = |mk: &dyn Fn(usize) -> PredictorConfig, paths: &[usize]| -> f64 {
-        paths
+        engine::run_configs(suite, paths.iter().map(|&p| mk(p)).collect())
             .iter()
-            .map(|&p| avg(mk(p)))
+            .map(|r| r.group_rate(BenchmarkGroup::Avg).unwrap_or(0.0))
             .fold(f64::INFINITY, f64::min)
     };
 
@@ -73,12 +73,8 @@ mod tests {
             15_000,
         );
         let t = &run(&suite)[0];
-        let measured = |row: usize| match t.rows()[row][1] {
-            Cell::Percent(p) => p,
-            _ => panic!("percent"),
-        };
-        let btb = measured(0);
-        let tl_8k = measured(2);
+        let btb = t.expect_percent(0, 1);
+        let tl_8k = t.expect_percent(2, 1);
         assert!(
             tl_8k * 2.0 < btb,
             "8K two-level {tl_8k} not well below BTB {btb}"

@@ -4,6 +4,7 @@
 use ibp_core::{KeyScheme, PredictorConfig};
 use ibp_workload::BenchmarkGroup;
 
+use crate::engine;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
 
@@ -19,23 +20,20 @@ pub fn run(suite: &Suite) -> Vec<Table> {
         "Table 5: key scheme (AVG, 24-bit patterns, unconstrained tables)",
         ["p", "xor", "concat", "xor - concat"],
     );
+    let configs = (0..=12usize)
+        .flat_map(|p| {
+            [KeyScheme::GshareXor, KeyScheme::Concat].map(|scheme| {
+                PredictorConfig::compressed_unbounded(p).with_key_scheme(scheme)
+            })
+        })
+        .collect();
+    let mut results = engine::run_configs(suite, configs).into_iter();
     for p in 0..=12usize {
-        let xor = suite
-            .run(move || {
-                PredictorConfig::compressed_unbounded(p)
-                    .with_key_scheme(KeyScheme::GshareXor)
-                    .build()
-            })
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
-        let concat = suite
-            .run(move || {
-                PredictorConfig::compressed_unbounded(p)
-                    .with_key_scheme(KeyScheme::Concat)
-                    .build()
-            })
-            .group_rate(BenchmarkGroup::Avg)
-            .unwrap_or(0.0);
+        let rate = |r: crate::suite::SuiteResult| {
+            r.group_rate(BenchmarkGroup::Avg).unwrap_or(0.0)
+        };
+        let xor = rate(results.next().expect("one result per config"));
+        let concat = rate(results.next().expect("one result per config"));
         t.push_row(vec![
             Cell::Count(p as u64),
             Cell::Percent(xor),
@@ -55,10 +53,8 @@ mod tests {
     fn xor_penalty_is_small() {
         let suite = Suite::with_benchmarks_and_len(&[Benchmark::Ixx, Benchmark::Porky], 15_000);
         let t = &run(&suite)[0];
-        for row in t.rows() {
-            let Cell::Percent(delta) = row[3] else {
-                panic!("delta cell")
-            };
+        for row in 0..t.rows().len() {
+            let delta = t.expect_percent(row, 3);
             // Xor may only cost a small amount over concatenation.
             assert!(delta < 0.02, "xor penalty {delta}");
         }
@@ -68,9 +64,7 @@ mod tests {
     fn p0_schemes_identical() {
         let suite = Suite::with_benchmarks_and_len(&[Benchmark::Ixx], 10_000);
         let t = &run(&suite)[0];
-        let Cell::Percent(delta) = t.rows()[0][3] else {
-            panic!("delta cell")
-        };
+        let delta = t.expect_percent(0, 3);
         assert!(delta.abs() < 1e-12, "p=0 keys are the branch address only");
     }
 }

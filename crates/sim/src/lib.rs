@@ -7,6 +7,9 @@
 //!   update per indirect branch, §2's protocol);
 //! * [`Suite`] — the 17-benchmark suite with per-benchmark rates and the
 //!   paper's group averages (`AVG`, `AVG-OO`, …, Table 3 semantics);
+//! * [`engine`] — the memoizing sweep engine: flattens (config ×
+//!   benchmark) grids into one parallel work queue and never simulates the
+//!   same pair twice across experiments;
 //! * [`report`] — plain-text and CSV rendering of result tables;
 //! * [`experiments`] — one runner per figure/table of the paper (the
 //!   `ibp-bench` binaries are thin wrappers over these).
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod engine;
 pub mod experiments;
 mod parallel;
 pub mod report;

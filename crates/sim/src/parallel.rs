@@ -30,25 +30,37 @@ where
         return items.iter().map(&f).collect();
     }
 
+    // Each worker collects (index, result) pairs locally — no lock on the
+    // hot path — and the joined batches are scattered back into input
+    // order afterwards.
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slot_refs[i].lock().expect("slot lock") = Some(r);
-            });
-        }
+    let batches: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
     });
 
-    drop(slot_refs);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in batches.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "item {i} computed twice");
+        slots[i] = Some(r);
+    }
     slots
         .into_iter()
         .map(|s| s.expect("all slots filled"))

@@ -52,6 +52,18 @@ impl Cell {
     }
 }
 
+impl Cell {
+    /// The fraction inside a [`Cell::Percent`], or `None` for any other
+    /// variant.
+    #[must_use]
+    pub fn as_percent(&self) -> Option<f64> {
+        match self {
+            Cell::Percent(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
 impl From<&str> for Cell {
     fn from(s: &str) -> Self {
         Cell::Text(s.to_string())
@@ -136,6 +148,40 @@ impl Table {
             self.headers.len()
         );
         self.rows.push(row);
+    }
+
+    /// The percentage fraction at `(row, col)`.
+    ///
+    /// The experiments extract hundreds of rate cells from each other's
+    /// tables; this accessor replaces ad-hoc `panic!("percent cell")`
+    /// matches with a message that names the table and cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics — naming the table, coordinates, and actual cell — when the
+    /// cell is missing or not a [`Cell::Percent`].
+    #[must_use]
+    pub fn expect_percent(&self, row: usize, col: usize) -> f64 {
+        let cell = self
+            .rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .unwrap_or_else(|| {
+                panic!(
+                    "table {:?}: no cell at row {row}, col {col} \
+                     ({} rows x {} cols)",
+                    self.title,
+                    self.rows.len(),
+                    self.headers.len()
+                )
+            });
+        cell.as_percent().unwrap_or_else(|| {
+            panic!(
+                "table {:?}: cell at row {row}, col {col} ({}) is {cell:?}, \
+                 expected Cell::Percent",
+                self.title, self.headers[col]
+            )
+        })
     }
 
     /// Renders as an aligned plain-text table.
@@ -249,5 +295,26 @@ mod tests {
         assert_eq!(t.title(), "sample");
         assert_eq!(t.headers().len(), 3);
         assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn expect_percent_extracts_rates() {
+        let t = sample();
+        assert!((t.expect_percent(0, 1) - 0.657).abs() < 1e-12);
+        assert!((t.expect_percent(1, 1) - 0.024).abs() < 1e-12);
+        assert_eq!(Cell::Percent(0.5).as_percent(), Some(0.5));
+        assert_eq!(Cell::Count(5).as_percent(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Cell::Percent")]
+    fn expect_percent_names_wrong_variant() {
+        let _ = sample().expect_percent(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cell at row 9")]
+    fn expect_percent_names_missing_cell() {
+        let _ = sample().expect_percent(9, 0);
     }
 }

@@ -13,11 +13,18 @@ use crate::run::{simulate, RunStats};
 /// `IBP_EVENTS` environment variable (experiments read it once at startup).
 pub(crate) fn default_events() -> u64 {
     static EVENTS: OnceLock<u64> = OnceLock::new();
-    *EVENTS.get_or_init(|| {
-        std::env::var("IBP_EVENTS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(120_000)
+    *EVENTS.get_or_init(|| match std::env::var("IBP_EVENTS") {
+        Ok(raw) => match raw.parse() {
+            Ok(events) => events,
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring invalid IBP_EVENTS={raw:?} \
+                     (expected an unsigned integer); using 120000"
+                );
+                120_000
+            }
+        },
+        Err(_) => 120_000,
     })
 }
 
@@ -28,6 +35,7 @@ pub(crate) fn default_events() -> u64 {
 #[derive(Debug)]
 pub struct Suite {
     traces: Vec<(Benchmark, Trace)>,
+    events: u64,
 }
 
 impl Suite {
@@ -48,7 +56,16 @@ impl Suite {
     #[must_use]
     pub fn with_benchmarks_and_len(benchmarks: &[Benchmark], events: u64) -> Self {
         let traces = parallel_map(benchmarks, |&b| (b, b.trace_with_len(events)));
-        Suite { traces }
+        Suite { traces, events }
+    }
+
+    /// The indirect-branch event count each trace was generated with.
+    /// Together with the benchmark this identifies a trace exactly (trace
+    /// generation is a pure function of both), which is what makes
+    /// cross-suite memoization in [`crate::engine`] sound.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
     }
 
     /// All benchmarks in the suite, in construction order.
@@ -100,6 +117,12 @@ pub struct SuiteResult {
 }
 
 impl SuiteResult {
+    /// Assembles a result from per-benchmark stats (used by the sweep
+    /// engine, which fills in memoized runs).
+    pub(crate) fn from_runs(runs: Vec<(Benchmark, RunStats)>) -> Self {
+        SuiteResult { runs }
+    }
+
     /// The run statistics for one benchmark, if it was part of the suite.
     #[must_use]
     pub fn stats(&self, benchmark: Benchmark) -> Option<RunStats> {

@@ -1,0 +1,89 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use core::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+/// The canonical strategy for `A` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(PhantomData<A>);
+
+/// The canonical strategy producing any value of type `A`.
+#[must_use]
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn new_value(&self, runner: &mut TestRunner) -> A {
+        A::arbitrary(runner)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                // Bias towards boundary values now and then: uniform draws
+                // almost never produce 0 or MAX, which is where wrap-around
+                // bugs live.
+                if runner.below(8) == 0 {
+                    match runner.below(3) {
+                        0 => 0,
+                        1 => 1,
+                        _ => <$t>::MAX,
+                    }
+                } else {
+                    runner.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> f64 {
+        runner.next_unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut r = TestRunner::deterministic("arbitrary.rs", "bool");
+        let s = any::<bool>();
+        let trues = (0..100).filter(|_| s.new_value(&mut r)).count();
+        assert!(trues > 10 && trues < 90);
+    }
+
+    #[test]
+    fn any_u64_hits_boundaries() {
+        let mut r = TestRunner::deterministic("arbitrary.rs", "u64");
+        let s = any::<u64>();
+        let mut saw_extreme = false;
+        for _ in 0..500 {
+            let v = s.new_value(&mut r);
+            saw_extreme |= v == 0 || v == u64::MAX;
+        }
+        assert!(saw_extreme, "boundary bias never fired");
+    }
+}

@@ -1,0 +1,91 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// A permitted length range for a generated collection.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// A strategy producing `Vec`s of values from `element`, with a length
+/// drawn from `size` (an exact `usize`, `a..b`, or `a..=b`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+        let len = self.size.lo + runner.below(span) as usize;
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_all_size_forms() {
+        let mut r = TestRunner::deterministic("collection.rs", "sizes");
+        for _ in 0..200 {
+            assert_eq!(vec(0u32..5, 4usize).new_value(&mut r).len(), 4);
+            let l = vec(0u32..5, 1..4usize).new_value(&mut r).len();
+            assert!((1..4).contains(&l));
+            let l = vec(0u32..5, 0..=2usize).new_value(&mut r).len();
+            assert!(l <= 2);
+        }
+    }
+
+    #[test]
+    fn elements_come_from_element_strategy() {
+        let mut r = TestRunner::deterministic("collection.rs", "elems");
+        for v in vec(10u32..20, 0..50usize).new_value(&mut r) {
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the *subset* of the proptest 1.x API its tests use: the [`proptest!`]
+//! macro, `prop_assert*` / `prop_assume!`, `prop_oneof!`, [`strategy`]
+//! combinators (ranges, tuples, `Just`, `prop_map`), `collection::vec`,
+//! `any::<T>()`, and simple string-pattern strategies.
+//!
+//! Differences from upstream:
+//!
+//! * **No shrinking.** A failing case reports the assertion message and the
+//!   case number; inputs are not minimised.
+//! * Cases are generated from a deterministic per-test seed (derived from
+//!   the file and test names), so failures reproduce exactly.
+//! * String "regex" strategies support the character-class and repetition
+//!   forms used here (`[a-z ]{0,30}`, `\PC{0,300}`), not full regex syntax.
+//! * The default case count is 64 (upstream: 256) — the offline CI budget
+//!   favours breadth of tests over per-test case counts.
+
+pub mod test_runner;
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod string;
+
+/// The glob import used by every test: traits, macros, config types.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $($(#[$attr:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run(&__config, file!(), stringify!($name), |__runner| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __runner);)+
+                    let mut __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test; on failure the current case
+/// is reported (without aborting sibling cases' cleanup).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses among several strategies producing the same value type;
+/// `weight => strategy` arms bias the choice.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($fw:expr => $first:expr $(, $w:expr => $rest:expr)* $(,)?) => {{
+        let __u = $crate::strategy::Union::weighted_of($fw, $first);
+        $(let __u = __u.or_weighted($w, $rest);)*
+        __u
+    }};
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        let __u = $crate::strategy::Union::of($first);
+        $(let __u = __u.or($rest);)*
+        __u
+    }};
+}

@@ -1,0 +1,242 @@
+//! Value-generation strategies: ranges, tuples, `Just`, map, unions.
+
+use crate::test_runner::TestRunner;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream there is no value tree / shrinking: a strategy simply
+/// produces a fresh value per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// A strategy producing `f(value)`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        (**self).new_value(runner)
+    }
+}
+
+/// Weighted choice among strategies with a common value type (built by
+/// `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Union<T> {
+    /// Starts a union with one equally-weighted arm.
+    #[must_use]
+    pub fn of<S: Strategy<Value = T> + 'static>(s: S) -> Self {
+        Union::weighted_of(1, s)
+    }
+
+    /// Starts a union with one arm of the given weight.
+    #[must_use]
+    pub fn weighted_of<S: Strategy<Value = T> + 'static>(weight: u32, s: S) -> Self {
+        Union {
+            arms: vec![(weight, Box::new(s))],
+        }
+    }
+
+    /// Adds an equally-weighted arm.
+    #[must_use]
+    pub fn or<S: Strategy<Value = T> + 'static>(mut self, s: S) -> Self {
+        self.arms.push((1, Box::new(s)));
+        self
+    }
+
+    /// Adds an arm of the given weight.
+    #[must_use]
+    pub fn or_weighted<S: Strategy<Value = T> + 'static>(mut self, weight: u32, s: S) -> Self {
+        self.arms.push((weight, Box::new(s)));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        let mut pick = runner.below(total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.new_value(runner);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                ((self.start as u64).wrapping_add(runner.below(span))) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    return runner.next_u64() as $t;
+                }
+                ((start as u64).wrapping_add(runner.below(span))) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = runner.next_unit() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let u = runner.next_unit() as $t;
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        TestRunner::deterministic("strategy.rs", "tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = runner();
+        for _ in 0..1_000 {
+            let v = (3u32..9).new_value(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (5i64..=7).new_value(&mut r);
+            assert!((5..=7).contains(&w));
+            let f = (0.25f64..0.5).new_value(&mut r);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut r = runner();
+        let s = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(s.new_value(&mut r) < 20);
+        }
+    }
+
+    #[test]
+    fn union_draws_all_arms() {
+        let mut r = runner();
+        let s = Union::of(Just(0u8)).or(Just(1)).or(Just(2));
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.new_value(&mut r) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn weighted_union_respects_weights() {
+        let mut r = runner();
+        let s = Union::weighted_of(9, Just(true)).or_weighted(1, Just(false));
+        let hits = (0..1_000).filter(|_| s.new_value(&mut r)).count();
+        assert!(hits > 700, "heavy arm drew {hits}/1000");
+    }
+}

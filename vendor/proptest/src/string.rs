@@ -1,0 +1,192 @@
+//! String strategies from regex-like patterns.
+//!
+//! `&str` literals act as strategies producing `String`s. Only the pattern
+//! forms this workspace uses are supported: sequences of atoms — a
+//! character class `[a-z 0-9]`, the "not a control character" escape
+//! `\PC`, or a literal character — each with an optional `{lo,hi}` / `{n}`
+//! repetition. Anything else panics at generation time.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+#[derive(Debug, Clone)]
+enum CharGen {
+    /// Inclusive ranges; single characters are degenerate ranges.
+    Class(Vec<(char, char)>),
+    /// Any non-control character (`\PC`): mostly ASCII printable, with a
+    /// sprinkling of multi-byte characters to exercise UTF-8 handling.
+    NotControl,
+}
+
+impl CharGen {
+    fn generate(&self, runner: &mut TestRunner) -> char {
+        match self {
+            CharGen::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                    .sum();
+                let mut pick = runner.below(total);
+                for &(lo, hi) in ranges {
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick as u32)
+                            .expect("class range holds valid chars");
+                    }
+                    pick -= span;
+                }
+                unreachable!("class pick out of range")
+            }
+            CharGen::NotControl => loop {
+                // 3/4 ASCII printable, 1/4 from wider printable blocks.
+                let c = if runner.below(4) < 3 {
+                    char::from_u32(0x20 + runner.below(0x5F) as u32)
+                } else {
+                    char::from_u32(match runner.below(3) {
+                        0 => 0xA1 + runner.below(0x24F - 0xA1) as u32,
+                        1 => 0x391 + runner.below(0x3C9 - 0x391) as u32,
+                        _ => 0x4E00 + runner.below(0x200) as u32,
+                    })
+                };
+                if let Some(c) = c {
+                    if !c.is_control() {
+                        return c;
+                    }
+                }
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    gen: CharGen,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let gen = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut pending: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                            let lo = pending.take().expect("checked above");
+                            let hi = chars.next().expect("peeked above");
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            ranges.push((lo, hi));
+                        }
+                        c => {
+                            if let Some(p) = pending.replace(c) {
+                                ranges.push((p, p));
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                CharGen::Class(ranges)
+            }
+            '\\' => {
+                let esc: String = [chars.next(), chars.next()]
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                assert!(
+                    esc == "PC",
+                    "unsupported escape \\{esc} in pattern {pattern:?} \
+                     (this offline stand-in only knows \\PC)"
+                );
+                CharGen::NotControl
+            }
+            c => CharGen::Class(vec![(c, c)]),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            fn bound(s: &str, spec: &str, pattern: &str) -> usize {
+                s.parse().unwrap_or_else(|_| {
+                    panic!("bad repetition {{{spec}}} in pattern {pattern:?}")
+                })
+            }
+            let parts: Vec<&str> = spec.split(',').collect();
+            match parts.as_slice() {
+                [n] => {
+                    let n = bound(n, &spec, pattern);
+                    (n, n)
+                }
+                [lo, hi] => (bound(lo, &spec, pattern), bound(hi, &spec, pattern)),
+                _ => panic!("bad repetition {{{spec}}} in pattern {pattern:?}"),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        atoms.push(Atom { gen, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        let mut out = String::new();
+        for atom in parse(self) {
+            let span = (atom.max - atom.min) as u64 + 1;
+            let n = atom.min + runner.below(span) as usize;
+            for _ in 0..n {
+                out.push(atom.gen.generate(runner));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        TestRunner::deterministic("string.rs", "tests")
+    }
+
+    #[test]
+    fn class_pattern_respects_alphabet_and_length() {
+        let mut r = runner();
+        for _ in 0..200 {
+            let s = "[a-z ]{0,30}".new_value(&mut r);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn not_control_pattern_is_printable() {
+        let mut r = runner();
+        for _ in 0..50 {
+            let s = "\\PC{0,300}".new_value(&mut r);
+            assert!(s.chars().count() <= 300);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut r = runner();
+        let s = "ab{3}[0-1]{2}".new_value(&mut r);
+        assert!(s.starts_with("abbb"));
+        assert_eq!(s.len(), 6);
+    }
+}

@@ -1,0 +1,197 @@
+//! The case-generation loop: config, RNG state, and failure reporting.
+
+/// Per-test configuration (the subset of upstream's fields used here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected cases (`prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed: the property does not hold.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; try another input.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected case with the given message.
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Value-generation state handed to strategies: a deterministic xoshiro256++
+/// stream seeded from the test's identity.
+#[derive(Debug)]
+pub struct TestRunner {
+    s: [u64; 4],
+}
+
+impl TestRunner {
+    /// A runner seeded deterministically from the test's file and name, so
+    /// failures reproduce run-to-run.
+    #[must_use]
+    pub fn deterministic(file: &str, name: &str) -> Self {
+        // FNV-1a over the identity, expanded via SplitMix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes().chain([0u8]).chain(name.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut state = h;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRunner {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// Drives one property: generates inputs with `f` until `config.cases`
+/// cases pass, panicking (as `#[test]` expects) on the first failure.
+pub fn run<F>(config: &ProptestConfig, file: &str, name: &str, f: F)
+where
+    F: Fn(&mut TestRunner) -> Result<(), TestCaseError>,
+{
+    let mut runner = TestRunner::deterministic(file, name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match f(&mut runner) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest {name} ({file}): too many rejected cases \
+                     ({rejected} rejects for {accepted} accepted)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name} ({file}) failed at case {}/{}:\n{msg}",
+                    accepted + 1,
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_identity() {
+        let mut a = TestRunner::deterministic("f.rs", "t");
+        let mut b = TestRunner::deterministic("f.rs", "t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRunner::deterministic("f.rs", "other");
+        let _ = c.next_u64();
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn run_counts_cases() {
+        let mut calls = 0u32;
+        let calls_ref = std::cell::Cell::new(0u32);
+        run(
+            &ProptestConfig::with_cases(10),
+            file!(),
+            "count",
+            |_runner| {
+                calls_ref.set(calls_ref.get() + 1);
+                Ok(())
+            },
+        );
+        calls += calls_ref.get();
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn run_panics_on_failure() {
+        run(&ProptestConfig::with_cases(5), file!(), "boom", |_runner| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let accepted = std::cell::Cell::new(0u32);
+        let total = std::cell::Cell::new(0u32);
+        run(&ProptestConfig::with_cases(4), file!(), "rej", |_runner| {
+            total.set(total.get() + 1);
+            if total.get() % 2 == 0 {
+                return Err(TestCaseError::reject("skip"));
+            }
+            accepted.set(accepted.get() + 1);
+            Ok(())
+        });
+        assert_eq!(accepted.get(), 4);
+        assert!(total.get() > 4);
+    }
+}
