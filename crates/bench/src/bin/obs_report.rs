@@ -1,0 +1,397 @@
+//! Renders a trace journal (`IBP_TRACE` JSONL) into a human summary and,
+//! optionally, Chrome trace-event JSON loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! ```text
+//! obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>]
+//! ```
+//!
+//! The summary covers where a run's time went: per-experiment wall time and
+//! cache effectiveness (from the root `experiment` spans), the slowest
+//! (config × benchmark) cells, per-worker busy/idle utilization, and the
+//! final metrics-registry snapshot.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ibp_obs::json::Json;
+use ibp_obs::{read_journal, Kind, Record};
+
+struct Options {
+    journal: PathBuf,
+    chrome: Option<PathBuf>,
+    top: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut journal = None;
+    let mut chrome = None;
+    let mut top = 10usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--chrome" => {
+                chrome = Some(PathBuf::from(
+                    args.next().ok_or("--chrome needs a path".to_string())?,
+                ));
+            }
+            "--top" => {
+                top = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or("--top needs a number".to_string())?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if journal.is_none() && !other.starts_with('-') => {
+                journal = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Options {
+        journal: journal.ok_or("missing journal path".to_string())?,
+        chrome,
+        top,
+    })
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+fn print_experiments(records: &[Record]) {
+    let roots: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.kind == Kind::Span && r.name == "experiment")
+        .collect();
+    if roots.is_empty() {
+        println!("experiments: none recorded\n");
+        return;
+    }
+    println!("experiments ({}):", roots.len());
+    println!(
+        "  {:<14} {:>9} {:>8} {:>8} {:>6} {:>12} {:>11}",
+        "id", "wall", "hits", "misses", "hit%", "sim events", "events/s"
+    );
+    let mut sorted = roots.clone();
+    sorted.sort_by_key(|r| std::cmp::Reverse(r.dur_us.unwrap_or(0)));
+    for r in sorted {
+        let dur = r.dur_us.unwrap_or(0);
+        let hits = r.field_u64("cache_hits").unwrap_or(0);
+        let misses = r.field_u64("cache_misses").unwrap_or(0);
+        let events = r.field_u64("simulated_events").unwrap_or(0);
+        let lookups = hits + misses;
+        let hit_pct = if lookups > 0 {
+            100.0 * hits as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        let rate = if dur > 0 {
+            events as f64 / (dur as f64 / 1e6)
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<14} {:>9} {:>8} {:>8} {:>5.1} {:>12} {:>11.0}",
+            r.field_str("id").unwrap_or("?"),
+            fmt_us(dur),
+            hits,
+            misses,
+            hit_pct,
+            events,
+            rate,
+        );
+    }
+    println!();
+}
+
+fn print_slowest_cells(records: &[Record], top: usize) {
+    let mut cells: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.kind == Kind::Span && r.name == "cell")
+        .collect();
+    let hit_events = records
+        .iter()
+        .filter(|r| r.kind == Kind::Event && r.name == "cell")
+        .count();
+    if cells.is_empty() {
+        println!("cells: none simulated ({hit_events} served from cache)\n");
+        return;
+    }
+    cells.sort_by_key(|r| std::cmp::Reverse(r.dur_us.unwrap_or(0)));
+    println!(
+        "top {} slowest cells (of {} simulated, {} served from cache):",
+        top.min(cells.len()),
+        cells.len(),
+        hit_events
+    );
+    println!(
+        "  {:<9} {:>9} {:<10} config",
+        "run", "wait", "benchmark"
+    );
+    for r in cells.iter().take(top) {
+        println!(
+            "  {:<9} {:>9} {:<10} {}",
+            fmt_us(r.dur_us.unwrap_or(0)),
+            fmt_us(r.field_u64("wait_us").unwrap_or(0)),
+            r.field_str("benchmark").unwrap_or("?"),
+            r.field_str("config").unwrap_or("?"),
+        );
+    }
+    println!();
+}
+
+fn print_worker_utilization(records: &[Record]) {
+    let workers: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.kind == Kind::Span && r.name == "worker")
+        .collect();
+    if workers.is_empty() {
+        println!("workers: none recorded\n");
+        return;
+    }
+    // Aggregate by thread id: tids are reused across parallel_map calls,
+    // so this shows how evenly the whole run's work spread over threads.
+    let mut per_tid: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
+    for w in &workers {
+        let e = per_tid.entry(w.tid).or_default();
+        e.0 += 1;
+        e.1 += w.field_u64("busy_us").unwrap_or(0);
+        e.2 += w.field_u64("idle_us").unwrap_or(0);
+        e.3 += w.field_u64("items").unwrap_or(0);
+    }
+    let (mut busy_total, mut idle_total) = (0u64, 0u64);
+    println!("worker utilization ({} worker spans):", workers.len());
+    println!(
+        "  {:<5} {:>6} {:>10} {:>10} {:>8} {:>6}",
+        "tid", "spans", "busy", "idle", "items", "util%"
+    );
+    for (tid, (spans, busy, idle, items)) in &per_tid {
+        busy_total += busy;
+        idle_total += idle;
+        let util = if busy + idle > 0 {
+            100.0 * *busy as f64 / (busy + idle) as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<5} {:>6} {:>10} {:>10} {:>8} {:>6.1}",
+            tid,
+            spans,
+            fmt_us(*busy),
+            fmt_us(*idle),
+            items,
+            util
+        );
+    }
+    let overall = if busy_total + idle_total > 0 {
+        100.0 * busy_total as f64 / (busy_total + idle_total) as f64
+    } else {
+        0.0
+    };
+    println!(
+        "  overall: busy {}, idle {} -> {overall:.1}% utilization\n",
+        fmt_us(busy_total),
+        fmt_us(idle_total)
+    );
+}
+
+fn print_metrics(records: &[Record]) {
+    let Some(snap) = records.iter().rev().find(|r| r.kind == Kind::Metrics) else {
+        println!("metrics: no snapshot in journal (run did not call flush)\n");
+        return;
+    };
+    println!("metrics snapshot:");
+    for section in ["counters", "gauges"] {
+        if let Some(Json::Obj(pairs)) = snap.field(section) {
+            for (name, value) in pairs {
+                println!("  {name} = {value}");
+            }
+        }
+    }
+    if let Some(Json::Obj(pairs)) = snap.field("histograms") {
+        for (name, h) in pairs {
+            let count = h.get("count").and_then(Json::as_u64).unwrap_or(0);
+            let sum = h.get("sum").and_then(Json::as_u64).unwrap_or(0);
+            let mean = if count > 0 {
+                sum as f64 / count as f64
+            } else {
+                0.0
+            };
+            println!("  {name}: count={count} mean={mean:.1}");
+            if let (Some(bounds), Some(counts)) = (
+                h.get("bounds").and_then(Json::as_arr),
+                h.get("counts").and_then(Json::as_arr),
+            ) {
+                let buckets: Vec<String> = counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let label = bounds
+                            .get(i)
+                            .and_then(Json::as_u64)
+                            .map_or("inf".to_string(), |b| b.to_string());
+                        format!("<={label}: {c}")
+                    })
+                    .collect();
+                println!("    [{}]", buckets.join(", "));
+            }
+        }
+    }
+    println!();
+}
+
+/// Converts the journal to Chrome trace-event JSON (the `traceEvents`
+/// object form Perfetto and `chrome://tracing` both load).
+fn chrome_trace(records: &[Record]) -> Json {
+    let mut events = Vec::new();
+    events.push(Json::Obj(vec![
+        ("name".to_string(), Json::Str("process_name".to_string())),
+        ("ph".to_string(), Json::Str("M".to_string())),
+        ("pid".to_string(), Json::Num(1.0)),
+        ("tid".to_string(), Json::Num(0.0)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![(
+                "name".to_string(),
+                Json::Str("ibp repro".to_string()),
+            )]),
+        ),
+    ]));
+    for r in records {
+        let (ph, extra): (&str, Vec<(String, Json)>) = match r.kind {
+            Kind::Span => (
+                "X",
+                vec![(
+                    "dur".to_string(),
+                    Json::Num(r.dur_us.unwrap_or(0) as f64),
+                )],
+            ),
+            Kind::Event | Kind::Log => ("i", vec![("s".to_string(), Json::Str("t".to_string()))]),
+            Kind::Meta | Kind::Metrics => continue,
+        };
+        let name = if r.kind == Kind::Log {
+            r.field_str("msg").unwrap_or("log").to_string()
+        } else {
+            r.name.clone()
+        };
+        let mut pairs = vec![
+            ("name".to_string(), Json::Str(name)),
+            ("ph".to_string(), Json::Str(ph.to_string())),
+            ("ts".to_string(), Json::Num(r.ts_us as f64)),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(r.tid as f64)),
+        ];
+        pairs.extend(extra);
+        if !r.fields.is_empty() {
+            pairs.push(("args".to_string(), Json::Obj(r.fields.clone())));
+        }
+        events.push(Json::Obj(pairs));
+    }
+    Json::Obj(vec![("traceEvents".to_string(), Json::Arr(events))])
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let records = read_journal(&opts.journal).map_err(|e| e.to_string())?;
+    if records.is_empty() {
+        return Err(format!("{}: empty journal", opts.journal.display()));
+    }
+
+    let spans = records.iter().filter(|r| r.kind == Kind::Span).count();
+    let events = records.iter().filter(|r| r.kind == Kind::Event).count();
+    let logs = records.iter().filter(|r| r.kind == Kind::Log).count();
+    let wall_us = records
+        .iter()
+        .map(|r| r.ts_us + r.dur_us.unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    let run_id = records
+        .iter()
+        .find(|r| r.kind == Kind::Meta)
+        .and_then(|r| r.field_str("run_id").map(str::to_string))
+        .unwrap_or_else(|| "?".to_string());
+    println!(
+        "journal {} — run {run_id}, {} records ({spans} spans, {events} events, {logs} logs), wall {}\n",
+        opts.journal.display(),
+        records.len(),
+        fmt_us(wall_us)
+    );
+
+    print_experiments(&records);
+    print_slowest_cells(&records, opts.top);
+    print_worker_utilization(&records);
+    print_metrics(&records);
+
+    if let Some(out) = &opts.chrome {
+        let trace = chrome_trace(&records);
+        std::fs::write(out, format!("{trace}\n"))
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!(
+            "chrome trace written to {} (open at https://ui.perfetto.dev)",
+            out.display()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>]");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_shapes_spans_and_events() {
+        let span = Record::parse(
+            r#"{"t":"span","name":"cell","ts":10,"dur":5,"tid":2,"depth":0,"f":{"benchmark":"ixx"}}"#,
+        )
+        .unwrap();
+        let event = Record::parse(r#"{"t":"event","name":"cell","ts":11,"tid":0}"#).unwrap();
+        let meta = Record::parse(r#"{"t":"meta","run_id":"x","ts":0}"#).unwrap();
+        let doc = chrome_trace(&[span, event, meta]);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
+        // Metadata record + span + instant; meta journal line is skipped.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(events[1].get("dur").and_then(Json::as_u64), Some(5));
+        assert_eq!(events[2].get("ph").and_then(Json::as_str), Some("i"));
+        // Output must itself be parseable JSON.
+        let parsed = ibp_obs::json::parse(&doc.to_string()).expect("valid json");
+        assert!(parsed.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn fmt_us_scales() {
+        assert_eq!(fmt_us(12), "12us");
+        assert_eq!(fmt_us(1_500), "1.5ms");
+        assert_eq!(fmt_us(2_500_000), "2.50s");
+    }
+}

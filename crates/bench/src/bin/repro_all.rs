@@ -4,9 +4,14 @@
 //!
 //! Prints a cache/throughput summary on stderr when done and writes
 //! per-experiment runtime metrics to `results/manifest.csv`. Set
-//! `IBP_LOG=1` for verbose per-sweep and per-experiment progress.
+//! `IBP_LOG=1` for per-sweep and per-experiment progress (`2` for debug
+//! detail), and `IBP_TRACE=1` (or `IBP_TRACE=<path>`) to record a JSONL
+//! run journal — render it with `obs_report`, or convert it to Chrome
+//! trace-event JSON for Perfetto.
 
 use std::time::Instant;
+
+use ibp_obs as obs;
 
 fn main() {
     let t0 = Instant::now();
@@ -18,8 +23,17 @@ fn main() {
         ibp_bench::emit(e.id, &tables);
         metrics.push(m);
     }
-    if let Some(path) = ibp_bench::write_manifest(&metrics) {
-        eprintln!("runtime manifest written to {}", path.display());
+    match ibp_bench::write_manifest(&metrics) {
+        Ok(path) => eprintln!("runtime manifest written to {}", path.display()),
+        Err(e) => obs::warn!("could not write manifest.csv: {e}"),
     }
     ibp_bench::print_summary(&metrics, t0.elapsed());
+    obs::flush();
+    if let Some(path) = obs::journal::path() {
+        eprintln!(
+            "trace journal written to {} (render with: obs_report {})",
+            path.display(),
+            path.display()
+        );
+    }
 }

@@ -11,8 +11,12 @@
 //!   120 000). The paper traced 0.03M–6M events per program; larger values
 //!   flatten the long-path warm-up penalty at the cost of run time.
 //! * `IBP_RESULTS` — output directory for CSVs (default `results`).
-//! * `IBP_LOG` — set to `1` for per-sweep and per-experiment progress
-//!   lines on stderr.
+//! * `IBP_LOG` — stderr log level: `0` quiet (default), `1` per-sweep and
+//!   per-experiment progress, `2` debug detail. Unparseable values warn
+//!   and read as `0`.
+//! * `IBP_TRACE` — JSONL run journal: `1` writes
+//!   `results/journal/<run-id>.jsonl`, any other value is used as the
+//!   journal path. Render it with the `obs_report` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +25,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use ibp_obs as obs;
 use ibp_sim::engine::{self, EngineStats};
 use ibp_sim::experiments::Experiment;
 use ibp_sim::report::Table;
@@ -60,7 +65,7 @@ pub fn emit(id: &str, tables: &[Table]) {
                 .collect();
             let path = dir.join(format!("{i:02}_{}.csv", slug.trim_matches('_')));
             if let Err(e) = fs::write(&path, t.to_csv()) {
-                eprintln!("warning: could not write {}: {e}", path.display());
+                obs::warn!("could not write {}: {e}", path.display());
             }
         }
     }
@@ -69,13 +74,13 @@ pub fn emit(id: &str, tables: &[Table]) {
     }
 }
 
-/// Runs one experiment end to end: build suite, run, emit.
+/// Runs one experiment end to end: build suite, run (instrumented), emit.
 pub fn run_experiment(id: &str) {
     let experiment =
         ibp_sim::experiments::by_id(id).unwrap_or_else(|| panic!("unknown experiment id {id}"));
     eprintln!("== {} ==", experiment.title);
     let suite = full_suite();
-    let tables = (experiment.run)(&suite);
+    let (tables, _metrics) = run_instrumented(&experiment, &suite);
     emit(id, &tables);
 }
 
@@ -103,63 +108,75 @@ impl ExperimentMetrics {
             0.0
         }
     }
+
+    /// Cache hits as a percentage of all engine lookups this experiment
+    /// made (0 when it made none).
+    #[must_use]
+    pub fn hit_rate_pct(&self) -> f64 {
+        let lookups = self.engine.hits + self.engine.misses;
+        if lookups > 0 {
+            100.0 * self.engine.hits as f64 / lookups as f64
+        } else {
+            0.0
+        }
+    }
 }
 
-/// Runs one experiment, attributing wall time and engine-counter deltas to
-/// it. With `IBP_LOG=1`, prints the per-experiment metrics line on stderr.
+/// Runs one experiment through the shared traced runner path, attributing
+/// wall time and engine-counter deltas to it. With `IBP_LOG=1`, prints the
+/// per-experiment metrics line on stderr; with `IBP_TRACE`, the run is
+/// recorded as one root `experiment` span in the journal.
 pub fn run_instrumented(experiment: &Experiment, suite: &Suite) -> (Vec<Table>, ExperimentMetrics) {
     let before = engine::stats();
     let t0 = Instant::now();
-    let tables = (experiment.run)(suite);
+    let tables = experiment.run_traced(suite);
     let metrics = ExperimentMetrics {
         id: experiment.id,
         wall: t0.elapsed(),
         engine: engine::stats().since(before),
     };
-    if engine::log_enabled() {
-        eprintln!(
-            "[{}] {:.2?}, {} hits / {} misses, {} events ({:.0} events/s)",
-            metrics.id,
-            metrics.wall,
-            metrics.engine.hits,
-            metrics.engine.misses,
-            metrics.engine.simulated_events,
-            metrics.events_per_sec(),
-        );
-    }
+    obs::info!(
+        "[{}] {:.2?}, {} hits / {} misses ({:.1}% hit rate), {} events ({:.0} events/s)",
+        metrics.id,
+        metrics.wall,
+        metrics.engine.hits,
+        metrics.engine.misses,
+        metrics.hit_rate_pct(),
+        metrics.engine.simulated_events,
+        metrics.events_per_sec(),
+    );
     (tables, metrics)
 }
 
 /// Writes `$IBP_RESULTS/manifest.csv`: one row of runtime metrics per
-/// experiment. Returns the path on success.
-pub fn write_manifest(metrics: &[ExperimentMetrics]) -> Option<PathBuf> {
+/// experiment (wall time, cache hit/miss counts and rate, simulated
+/// events, throughput). Returns the path written.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures; callers decide how to
+/// report them (`repro_all` logs through the event API).
+pub fn write_manifest(metrics: &[ExperimentMetrics]) -> std::io::Result<PathBuf> {
     let dir = results_dir();
-    if let Err(e) = fs::create_dir_all(&dir) {
-        eprintln!("warning: could not create {}: {e}", dir.display());
-        return None;
-    }
+    fs::create_dir_all(&dir)?;
     let mut csv = String::from(
-        "experiment,wall_seconds,cache_hits,cache_misses,simulated_events,events_per_sec\n",
+        "experiment,wall_seconds,cache_hits,cache_misses,hit_rate_pct,simulated_events,events_per_sec\n",
     );
     for m in metrics {
         csv.push_str(&format!(
-            "{},{:.3},{},{},{},{:.0}\n",
+            "{},{:.3},{},{},{:.1},{},{:.0}\n",
             m.id,
             m.wall.as_secs_f64(),
             m.engine.hits,
             m.engine.misses,
+            m.hit_rate_pct(),
             m.engine.simulated_events,
             m.events_per_sec(),
         ));
     }
     let path = dir.join("manifest.csv");
-    match fs::write(&path, csv) {
-        Ok(()) => Some(path),
-        Err(e) => {
-            eprintln!("warning: could not write {}: {e}", path.display());
-            None
-        }
-    }
+    fs::write(&path, csv)?;
+    Ok(path)
 }
 
 /// Prints the end-of-run cache/throughput summary on stderr.

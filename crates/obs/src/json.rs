@@ -1,0 +1,506 @@
+//! A minimal JSON value type with a writer and parser.
+//!
+//! The workspace builds offline (no `serde`), and the journal format is
+//! plain JSON Lines, so this module hand-rolls the small subset of JSON the
+//! observability layer needs: objects with string keys, arrays, strings,
+//! numbers, booleans and null. Object key order is preserved (journal lines
+//! stay stable and diffable); numbers are stored as `f64`, which is exact
+//! for every integer the journal emits (timestamps in microseconds, event
+//! counts — all far below 2^53).
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers are exact up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source/insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer (rejects negatives and
+    /// fractions).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+/// Writes a string with JSON escaping into `out`.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(out: &mut String, n: f64) {
+    // Integers are written without a fraction so journal lines stay stable
+    // and `as_u64` round-trips; non-finite values have no JSON form and
+    // degrade to null.
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Json {
+    /// Serialises this value (compact, no whitespace) into `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A parse failure: byte offset plus a short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", byte as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected {lit}"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| {
+            matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        }) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Json::Num(n)),
+            Err(_) => self.err(format!("invalid number {text:?}")),
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, ParseError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(ParseError {
+                offset: self.pos,
+                message: "truncated \\u escape".to_string(),
+            })?;
+        let text = std::str::from_utf8(slice).map_err(|_| ParseError {
+            offset: self.pos,
+            message: "non-ascii \\u escape".to_string(),
+        })?;
+        let code = u16::from_str_radix(text, 16).map_err(|_| ParseError {
+            offset: self.pos,
+            message: format!("invalid \\u escape {text:?}"),
+        })?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect an immediate \uXXXX low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((u32::from(hi) - 0xD800) << 10)
+                                        + (u32::from(lo) - 0xDC00);
+                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(u32::from(hi)).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a maximal run of unescaped bytes in one go. The
+                    // input arrived as a `&str` and the run is delimited by
+                    // ASCII bytes (`"` or `\`, which are never UTF-8
+                    // continuation bytes), so the slice is valid UTF-8.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is a &str"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected).
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage after document");
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(j: &Json) -> Json {
+        parse(&j.to_string()).expect("roundtrip parse")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for j in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Num(0.0),
+            Json::Num(-17.0),
+            Json::Num(3.25),
+            Json::Num(1_234_567_890_123.0),
+            Json::Str(String::new()),
+            Json::Str("plain".to_string()),
+        ] {
+            assert_eq!(roundtrip(&j), j);
+        }
+    }
+
+    #[test]
+    fn integers_write_without_fraction() {
+        assert_eq!(Json::Num(42.0).to_string(), "42");
+        assert_eq!(Json::Num(-7.0).to_string(), "-7");
+        assert_eq!(Json::Num(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let nasty = "quote\" back\\slash \n\r\t ctrl\u{1} unicode λ💡";
+        let j = Json::Str(nasty.to_string());
+        assert_eq!(roundtrip(&j), j);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            parse(r#""éא""#).unwrap(),
+            Json::Str("éא".to_string())
+        );
+        // Surrogate pair for 💡 (U+1F4A1).
+        assert_eq!(
+            parse(r#""💡""#).unwrap(),
+            Json::Str("💡".to_string())
+        );
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let j = Json::Obj(vec![
+            ("t".to_string(), Json::Str("span".to_string())),
+            ("ts".to_string(), Json::Num(123_456.0)),
+            (
+                "fields".to_string(),
+                Json::Obj(vec![
+                    ("hit".to_string(), Json::Bool(true)),
+                    ("xs".to_string(), Json::Arr(vec![Json::Num(1.0), Json::Null])),
+                ]),
+            ),
+        ]);
+        let back = roundtrip(&j);
+        assert_eq!(back, j);
+        assert_eq!(back.get("t").and_then(Json::as_str), Some("span"));
+        assert_eq!(back.get("ts").and_then(Json::as_u64), Some(123_456));
+        let fields = back.get("fields").expect("fields");
+        assert_eq!(fields.get("hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(fields.get("xs").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+    }
+
+    #[test]
+    fn key_order_is_preserved() {
+        let src = r#"{"z":1,"a":2,"m":3}"#;
+        let j = parse(src).unwrap();
+        assert_eq!(j.to_string(), src);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let e = parse("{\"a\": }").unwrap_err();
+        assert!(e.offset > 0);
+        assert!(!e.message.is_empty());
+        assert!(parse("[1,2").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let j = parse(" { \"a\" : [ 1 , true , \"x\" ] } \n").unwrap();
+        assert_eq!(j.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+    }
+}

@@ -1,0 +1,86 @@
+//! Round-trip test: what the journal sink writes, [`ibp_obs::read_journal`]
+//! parses back, record for record.
+
+use std::path::PathBuf;
+
+use ibp_obs as obs;
+use obs::{Kind, Record};
+
+fn temp_journal() -> PathBuf {
+    std::env::temp_dir().join(format!("ibp-obs-roundtrip-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn journal_file_roundtrip() {
+    let path = temp_journal();
+    obs::journal::install(&path).expect("install journal");
+
+    {
+        let mut sp = obs::span!("experiment", id = "fig9", title = "path length sweep");
+        {
+            let _inner = obs::span!("cell", benchmark = "ixx", outcome = "miss", wait_us = 12u64);
+        }
+        sp.note("cache_hits", 7u64);
+    }
+    obs::event!("cell", outcome = "hit", benchmark = "xlisp");
+    obs::warn!("something odd: {}", 13);
+    obs::metrics::counter("test.roundtrip.counter").add(3);
+    obs::metrics::histogram("test.roundtrip.hist", &[100, 200]).record(150);
+    obs::flush();
+    obs::journal::uninstall();
+
+    let records = obs::read_journal(&path).expect("read journal back");
+    std::fs::remove_file(&path).ok();
+
+    // Header first.
+    assert_eq!(records[0].kind, Kind::Meta);
+    assert!(records[0].field_str("run_id").is_some());
+    assert!(records[0].field_u64("pid").is_some());
+
+    let spans: Vec<&Record> = records.iter().filter(|r| r.kind == Kind::Span).collect();
+    assert_eq!(spans.len(), 2);
+    // Drop order: the cell closes before the experiment.
+    assert_eq!(spans[0].name, "cell");
+    assert_eq!(spans[0].depth, Some(1));
+    assert_eq!(spans[0].field_str("benchmark"), Some("ixx"));
+    assert_eq!(spans[0].field_u64("wait_us"), Some(12));
+    assert_eq!(spans[1].name, "experiment");
+    assert_eq!(spans[1].depth, Some(0));
+    assert_eq!(spans[1].field_str("id"), Some("fig9"));
+    assert_eq!(spans[1].field_u64("cache_hits"), Some(7));
+    assert!(spans[1].dur_us.expect("dur") >= spans[0].dur_us.expect("dur"));
+
+    let ev = records
+        .iter()
+        .find(|r| r.kind == Kind::Event)
+        .expect("event record");
+    assert_eq!(ev.name, "cell");
+    assert_eq!(ev.field_str("outcome"), Some("hit"));
+    assert_eq!(ev.dur_us, None);
+
+    let log = records
+        .iter()
+        .find(|r| r.kind == Kind::Log)
+        .expect("log record");
+    assert_eq!(log.level, Some(0));
+
+    let metrics = records
+        .iter()
+        .find(|r| r.kind == Kind::Metrics)
+        .expect("metrics record");
+    let counters = metrics.field("counters").expect("counters");
+    assert!(counters
+        .get("test.roundtrip.counter")
+        .and_then(obs::json::Json::as_u64)
+        .is_some_and(|v| v >= 3));
+
+    // Timestamps are monotone non-decreasing in *emit* order for instant
+    // records (spans are stamped at open, so only ordering among
+    // non-spans is guaranteed).
+    let instant_ts: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind != Kind::Span)
+        .map(|r| r.ts_us)
+        .collect();
+    assert!(instant_ts.windows(2).all(|w| w[0] <= w[1]));
+}

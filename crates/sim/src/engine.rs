@@ -16,16 +16,23 @@
 //!   guaranteed to reproduce the same [`RunStats`] and is never simulated
 //!   twice, within or across experiments;
 //! * global hit/miss/event counters ([`stats`]) let callers report cache
-//!   effectiveness and simulation throughput.
+//!   effectiveness and simulation throughput — they live in the
+//!   [`ibp_obs::metrics`] registry (`engine.cache.hits`,
+//!   `engine.cache.misses`, `engine.simulated_events`), so a journal
+//!   snapshot carries them too;
+//! * with tracing on (`IBP_TRACE`), every simulated cell emits a `cell`
+//!   span (config, benchmark, queue wait vs. run time) and every memoized
+//!   lookup a `cell` event with `outcome = "hit"`.
 //!
 //! Set `IBP_LOG=1` for a per-sweep progress line on stderr.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use ibp_core::{Predictor, PredictorConfig};
+use ibp_obs as obs;
+use ibp_obs::metrics::Counter;
 use ibp_workload::Benchmark;
 
 use crate::parallel::parallel_map;
@@ -42,15 +49,19 @@ fn cache() -> &'static Mutex<HashMap<CacheKey, RunStats>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
-static SIMULATED_EVENTS: AtomicU64 = AtomicU64::new(0);
+fn hits() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("engine.cache.hits"))
+}
 
-/// Whether verbose progress logging is enabled (`IBP_LOG=1`).
-#[must_use]
-pub fn log_enabled() -> bool {
-    static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| std::env::var("IBP_LOG").is_ok_and(|v| v == "1"))
+fn misses() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("engine.cache.misses"))
+}
+
+fn simulated_events() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("engine.simulated_events"))
 }
 
 /// A snapshot of the process-wide engine counters.
@@ -82,9 +93,9 @@ impl EngineStats {
 #[must_use]
 pub fn stats() -> EngineStats {
     EngineStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        simulated_events: SIMULATED_EVENTS.load(Ordering::Relaxed),
+        hits: hits().get(),
+        misses: misses().get(),
+        simulated_events: simulated_events().get(),
     }
 }
 
@@ -174,6 +185,7 @@ impl<'a> Sweep<'a> {
         let events = self.suite.events();
         let benchmarks = self.suite.benchmarks();
         let nb = benchmarks.len();
+        let mut sweep_span = obs::span!("sweep", configs = self.jobs.len(), benchmarks = nb);
 
         // Phase 1: serve what we can from the cache; claim one simulation
         // unit per distinct (key, benchmark) among the rest, so duplicate
@@ -188,7 +200,8 @@ impl<'a> Sweep<'a> {
                     let full_key = (job.key.clone(), b, events, self.warmup);
                     if let Some(&cached) = cache.get(&full_key) {
                         results[j][bi] = Some(cached);
-                        HITS.fetch_add(1, Ordering::Relaxed);
+                        hits().incr();
+                        obs::event!("cell", config = job.key.as_str(), benchmark = b.name(), outcome = "hit");
                     } else if claimed.insert((job.key.as_str(), b), ()).is_none() {
                         units.push((j, bi));
                     }
@@ -198,13 +211,23 @@ impl<'a> Sweep<'a> {
 
         // Phase 2: simulate all missing units in one flat parallel queue.
         let simulated: Vec<RunStats> = parallel_map(&units, |&(j, bi)| {
-            let trace = self.suite.trace(benchmarks[bi]);
+            let b = benchmarks[bi];
+            // Queue wait: time from sweep start until a worker picked the
+            // cell up; the span's own duration is the run time.
+            let wait_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let mut cell = obs::span("cell");
+            cell.note("config", self.jobs[j].key.as_str());
+            cell.note("benchmark", b.name());
+            cell.note("outcome", "miss");
+            cell.note("wait_us", wait_us);
+            let trace = self.suite.trace(b);
             let mut p = (self.jobs[j].make)();
             let stats = simulate_warm(trace, p.as_mut(), self.warmup);
-            SIMULATED_EVENTS.fetch_add(trace.indirect_count(), Ordering::Relaxed);
+            cell.note("events", trace.indirect_count());
+            simulated_events().add(trace.indirect_count());
             stats
         });
-        MISSES.fetch_add(units.len() as u64, Ordering::Relaxed);
+        misses().add(units.len() as u64);
 
         // Phase 3: publish the new results, then fill every remaining slot
         // (duplicate keys within this sweep) from the cache.
@@ -226,16 +249,19 @@ impl<'a> Sweep<'a> {
                                 .get(&full_key)
                                 .expect("duplicate-key slot filled by its representative"),
                         );
-                        HITS.fetch_add(1, Ordering::Relaxed);
+                        hits().incr();
+                        obs::event!("cell", config = job.key.as_str(), benchmark = b.name(), outcome = "hit");
                     }
                 }
             }
         }
 
-        if log_enabled() {
+        {
             let lookups = (self.jobs.len() * nb) as u64;
             let sim = units.len() as u64;
-            eprintln!(
+            sweep_span.note("lookups", lookups);
+            sweep_span.note("simulated", sim);
+            obs::info!(
                 "[engine] sweep: {} configs x {} benchmarks = {} lookups, \
                  {} simulated, {} cached, {:.2?}",
                 self.jobs.len(),

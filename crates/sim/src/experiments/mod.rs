@@ -86,6 +86,26 @@ impl std::fmt::Debug for Experiment {
     }
 }
 
+impl Experiment {
+    /// Runs the experiment under a root `experiment` span that attributes
+    /// engine cache/counter deltas to this figure/table. This is the
+    /// shared runner path — `repro_all` and the per-figure binaries all go
+    /// through it, so every experiment shows up as one root span in the
+    /// trace journal. Without `IBP_TRACE` it is exactly `(self.run)(suite)`.
+    #[must_use]
+    pub fn run_traced(&self, suite: &Suite) -> Vec<Table> {
+        let before = crate::engine::stats();
+        let mut span = ibp_obs::span!("experiment", id = self.id, title = self.title);
+        let tables = (self.run)(suite);
+        let delta = crate::engine::stats().since(before);
+        span.note("cache_hits", delta.hits);
+        span.note("cache_misses", delta.misses);
+        span.note("simulated_events", delta.simulated_events);
+        span.note("tables", tables.len());
+        tables
+    }
+}
+
 /// Every experiment, in paper order.
 #[must_use]
 pub fn all() -> Vec<Experiment> {

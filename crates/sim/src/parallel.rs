@@ -1,6 +1,57 @@
 //! Minimal work-stealing-free parallel map over an item list.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use ibp_obs as obs;
+use ibp_obs::metrics::{Counter, Histogram};
+
+fn busy_us_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("parallel.busy_us"))
+}
+
+fn idle_us_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("parallel.idle_us"))
+}
+
+fn items_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("parallel.items"))
+}
+
+fn util_histogram() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::metrics::histogram("parallel.worker_util_pct", &[10, 25, 50, 75, 90, 95, 99, 100])
+    })
+}
+
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Records one worker's busy/idle split into the metrics registry and an
+/// open `worker` span (fields only materialise when tracing is on).
+fn observe_worker(span: &mut obs::Span, spawned: Instant, busy: Duration, items: usize) {
+    let total = spawned.elapsed();
+    let idle = total.saturating_sub(busy);
+    let util_pct = if total.is_zero() {
+        100
+    } else {
+        ((100.0 * busy.as_secs_f64() / total.as_secs_f64()).round() as u64).min(100)
+    };
+    busy_us_counter().add(micros(busy));
+    idle_us_counter().add(micros(idle));
+    items_counter().add(items as u64);
+    util_histogram().record(util_pct);
+    span.note("items", items);
+    span.note("busy_us", micros(busy));
+    span.note("idle_us", micros(idle));
+    span.note("util_pct", util_pct);
+}
 
 /// Applies `f` to every item, spreading work over the available cores, and
 /// returns results in input order.
@@ -12,6 +63,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// `f` must be `Sync` (it is shared across threads) and is called exactly
 /// once per item.
+///
+/// Every worker records its busy/idle split into the metrics registry
+/// (`parallel.busy_us`, `parallel.idle_us`, `parallel.items`, and the
+/// `parallel.worker_util_pct` histogram — idle time is queue-exhaustion
+/// tail wait, so utilization directly measures how evenly the queue
+/// drained) and, when tracing is on, emits one `worker` span.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -26,8 +83,13 @@ where
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(n);
+    obs::metrics::gauge("parallel.queue_len").set(n as i64);
     if threads <= 1 {
-        return items.iter().map(&f).collect();
+        let mut span = obs::span!("worker", threads = 1usize);
+        let spawned = Instant::now();
+        let out: Vec<R> = items.iter().map(&f).collect();
+        observe_worker(&mut span, spawned, spawned.elapsed(), n);
+        return out;
     }
 
     // Each worker collects (index, result) pairs locally — no lock on the
@@ -38,14 +100,20 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut span = obs::span("worker");
+                    let spawned = Instant::now();
+                    let mut busy = Duration::ZERO;
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        let t = Instant::now();
                         local.push((i, f(&items[i])));
+                        busy += t.elapsed();
                     }
+                    observe_worker(&mut span, spawned, busy, local.len());
                     local
                 })
             })
@@ -87,6 +155,19 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn workers_record_utilization_metrics() {
+        let items_before = items_counter().get();
+        let hist_before = util_histogram().snapshot().count;
+        let items: Vec<u64> = (0..16).collect();
+        let out = parallel_map(&items, |&x| x + 1);
+        assert_eq!(out.len(), 16);
+        // Counters are process-wide (other tests may add more), so assert
+        // minimum deltas only.
+        assert!(items_counter().get() >= items_before + 16);
+        assert!(util_histogram().snapshot().count > hist_before);
     }
 
     #[test]

@@ -58,7 +58,12 @@ pub fn simulate(trace: &Trace, predictor: &mut dyn Predictor) -> RunStats {
 /// the *trace* level; this knob lets experiments separate cold-start misses
 /// from steady-state behaviour (used by the capacity-miss analysis of
 /// Figure 11).
+///
+/// With tracing on (`IBP_TRACE`), each run emits a `simulate` span carrying
+/// the warmup/scored split and the achieved events/sec.
 pub fn simulate_warm(trace: &Trace, predictor: &mut dyn Predictor, warmup: u64) -> RunStats {
+    let mut span = ibp_obs::span("simulate");
+    let timer = span.armed().then(std::time::Instant::now);
     let mut stats = RunStats::default();
     let mut seen = 0u64;
     for event in trace.events() {
@@ -77,6 +82,16 @@ pub fn simulate_warm(trace: &Trace, predictor: &mut dyn Predictor, warmup: u64) 
             TraceEvent::Cond(b) => {
                 predictor.observe_cond(b.pc, b.outcome());
             }
+        }
+    }
+    if let Some(t0) = timer {
+        span.note("trace", trace.name());
+        span.note("events", seen);
+        span.note("warmup", seen.min(warmup));
+        span.note("scored", stats.indirect);
+        let secs = t0.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            span.note("events_per_sec", (seen as f64 / secs).round());
         }
     }
     stats

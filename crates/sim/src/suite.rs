@@ -55,6 +55,8 @@ impl Suite {
     /// Generates the given benchmarks with `events` indirect branches each.
     #[must_use]
     pub fn with_benchmarks_and_len(benchmarks: &[Benchmark], events: u64) -> Self {
+        let _span =
+            ibp_obs::span!("generate_traces", benchmarks = benchmarks.len(), events = events);
         let traces = parallel_map(benchmarks, |&b| (b, b.trace_with_len(events)));
         Suite { traces, events }
     }

@@ -1,0 +1,141 @@
+//! Baseline persistence and comparison for the criterion stand-in.
+//!
+//! Each bench result is merged into `$IBP_RESULTS/.bench/baseline.json`
+//! (`{"<bench id>": {"best_ns": N, "mean_ns": N}, ...}`); results from
+//! other bench binaries are preserved, so `cargo bench -p ibp-bench` keeps
+//! one baseline across all its targets. The previous file, read once per
+//! process before the first overwrite, supplies the delta printed next to
+//! each result.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use ibp_obs::json::{self, Json};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    best_ns: u64,
+    mean_ns: u64,
+}
+
+fn baseline_path() -> PathBuf {
+    let root = std::env::var("IBP_RESULTS").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(root).join(".bench").join("baseline.json")
+}
+
+fn parse_baseline(text: &str) -> Option<BTreeMap<String, Entry>> {
+    let doc = json::parse(text).ok()?;
+    let mut map = BTreeMap::new();
+    for (id, entry) in doc.as_obj()? {
+        map.insert(
+            id.clone(),
+            Entry {
+                best_ns: entry.get("best_ns").and_then(Json::as_u64)?,
+                mean_ns: entry.get("mean_ns").and_then(Json::as_u64)?,
+            },
+        );
+    }
+    Some(map)
+}
+
+/// The baseline as it was on disk before this process wrote anything.
+fn previous() -> &'static BTreeMap<String, Entry> {
+    static PREV: OnceLock<BTreeMap<String, Entry>> = OnceLock::new();
+    PREV.get_or_init(|| {
+        let path = baseline_path();
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return BTreeMap::new();
+        };
+        parse_baseline(&text).unwrap_or_else(|| {
+            eprintln!(
+                "warning: ignoring malformed bench baseline {}",
+                path.display()
+            );
+            BTreeMap::new()
+        })
+    })
+}
+
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn write_merged(current: &BTreeMap<String, Entry>) {
+    let mut merged = previous().clone();
+    merged.extend(current.iter().map(|(k, v)| (k.clone(), *v)));
+    let doc = Json::Obj(
+        merged
+            .into_iter()
+            .map(|(id, e)| {
+                (
+                    id,
+                    Json::Obj(vec![
+                        ("best_ns".to_string(), Json::Num(e.best_ns as f64)),
+                        ("mean_ns".to_string(), Json::Num(e.mean_ns as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let path = baseline_path();
+    let written = path
+        .parent()
+        .map_or(Ok(()), std::fs::create_dir_all)
+        .and_then(|()| std::fs::write(&path, format!("{doc}\n")));
+    if let Err(e) = written {
+        // Warn once; benches still print results without a baseline.
+        static WARNED: OnceLock<()> = OnceLock::new();
+        WARNED.get_or_init(|| {
+            eprintln!("warning: cannot write bench baseline {}: {e}", path.display());
+        });
+    }
+}
+
+/// Records one bench result into the baseline file and returns the
+/// suffix describing its delta against the previous baseline (empty when
+/// this bench had no prior entry).
+pub(crate) fn record(label: &str, best: Duration, mean: Duration) -> String {
+    let entry = Entry {
+        best_ns: ns(best),
+        mean_ns: ns(mean),
+    };
+    static CURRENT: OnceLock<Mutex<BTreeMap<String, Entry>>> = OnceLock::new();
+    let current = CURRENT.get_or_init(|| Mutex::new(BTreeMap::new()));
+    {
+        let mut guard = current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.insert(label.to_string(), entry);
+        write_merged(&guard);
+    }
+    match previous().get(label) {
+        Some(prev) if prev.best_ns > 0 => {
+            let pct = 100.0 * (entry.best_ns as f64 - prev.best_ns as f64) / prev.best_ns as f64;
+            format!(" [best {pct:+.1}% vs baseline]")
+        }
+        _ => " [no baseline]".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_json_roundtrip() {
+        let text = r#"{"g/one":{"best_ns":120,"mean_ns":150},"two":{"best_ns":9,"mean_ns":11}}"#;
+        let map = parse_baseline(text).expect("parse");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["g/one"].best_ns, 120);
+        assert_eq!(map["two"].mean_ns, 11);
+    }
+
+    #[test]
+    fn malformed_baseline_rejected() {
+        assert!(parse_baseline("not json").is_none());
+        assert!(parse_baseline(r#"{"x":{"best_ns":1}}"#).is_none()); // missing mean_ns
+        assert!(parse_baseline("[1,2]").is_none());
+    }
+}

@@ -2,17 +2,24 @@
 //!
 //! The build environment has no registry access, so this workspace vendors
 //! a minimal wall-clock benchmark harness exposing the subset of the
-//! criterion 0.5 API its benches use. No statistics beyond min/mean/max, no
-//! HTML reports, no comparison against saved baselines.
+//! criterion 0.5 API its benches use. No statistics beyond min/mean/max and
+//! no HTML reports, but each run *is* compared against a saved baseline:
+//! per-bench best/mean go to `$IBP_RESULTS/.bench/baseline.json` (default
+//! `results/.bench/baseline.json`) and, when a previous baseline exists,
+//! every result line carries a best-time delta against it — so perf
+//! regressions are visible run-over-run without real criterion.
 //!
 //! When the binary is invoked with `--test` (as `cargo test` does for
 //! `harness = false` bench targets), every routine runs exactly once so the
-//! benches act as smoke tests.
+//! benches act as smoke tests; test mode neither reads nor writes the
+//! baseline.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+mod baseline;
 
 /// Work-per-iteration declaration, used to report a rate.
 #[derive(Debug, Clone, Copy)]
@@ -130,8 +137,15 @@ fn run_samples<F: FnMut(&mut Bencher)>(label: &str, samples: usize, throughput: 
         let per_sec = n as f64 / best.as_secs_f64().max(1e-12);
         format!(", {per_sec:.3e} {unit}/s")
     });
+    // No baseline I/O under `cargo test`: neither in `--test` smoke mode
+    // nor from this crate's own unit tests (cfg!(test)).
+    let delta = if test_mode() || cfg!(test) {
+        String::new()
+    } else {
+        baseline::record(label, best, mean)
+    };
     println!(
-        "{label}: best {best:?}, mean {mean:?} over {samples} samples{}",
+        "{label}: best {best:?}, mean {mean:?} over {samples} samples{}{delta}",
         rate.unwrap_or_default()
     );
 }
