@@ -1,14 +1,17 @@
 //! Export a synthetic benchmark trace to the IBPT text format, for use
 //! with external tools or with `simulate_trace`.
 //!
+//! The trace is generated and written chunk by chunk, so memory stays
+//! constant regardless of the event count:
+//!
 //! ```text
-//! export_trace ixx 50000 > ixx.ibpt
+//! export_trace ixx 2000000 > ixx.ibpt
 //! ```
 
 use std::io::Write;
 use std::process::ExitCode;
 
-use ibp_trace::io::write_text;
+use ibp_trace::io::write_text_source;
 use ibp_workload::Benchmark;
 
 fn main() -> ExitCode {
@@ -33,10 +36,10 @@ fn main() -> ExitCode {
             }
         },
     };
-    let trace = benchmark.trace_with_len(events);
+    let mut source = benchmark.source(events);
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
-    if let Err(e) = write_text(&trace, &mut lock) {
+    if let Err(e) = write_text_source(&mut source, &mut lock) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }

@@ -13,15 +13,19 @@
 //!
 //! With `--classify`, mispredictions of two-level predictors are broken
 //! down into wrong-target / capacity / cold classes.
+//!
+//! The trace file is never materialised: every pass streams it through a
+//! chunked [`ibp_trace::TextSource`], so arbitrarily long traces simulate
+//! in constant memory (multi-pass modes like `--sweep` re-read the file).
 
 use std::fs::File;
 use std::process::ExitCode;
 
 use ibp_core::{Associativity, PredictorConfig, TwoLevelPredictor};
-use ibp_sim::analysis::{simulate_classified, simulate_per_site};
-use ibp_sim::simulate;
-use ibp_trace::io::read_text;
-use ibp_trace::Trace;
+use ibp_sim::analysis::{simulate_classified_source, simulate_per_site_source};
+use ibp_sim::simulate_source;
+use ibp_trace::io::TextSource;
+use ibp_trace::{EventSource, TraceStats};
 
 struct Args {
     trace: String,
@@ -144,9 +148,11 @@ fn build(args: &Args) -> Result<PredictorConfig, String> {
     })
 }
 
-fn load(path: &str) -> Result<Trace, String> {
+/// Opens one streaming pass over the trace file (header and metadata
+/// prologue already consumed).
+fn open(path: &str) -> Result<TextSource<File>, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    read_text(file).map_err(|e| e.to_string())
+    TextSource::new(file).map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {
@@ -160,8 +166,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let trace = match load(&args.trace) {
-        Ok(t) => t,
+    // First pass: name and summary statistics, streamed.
+    let (name, stats) = match open(&args.trace).and_then(|mut src| {
+        let name = src.name().to_string();
+        TraceStats::from_source(&mut src)
+            .map(|stats| (name, stats))
+            .map_err(|e| e.to_string())
+    }) {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -169,9 +181,7 @@ fn main() -> ExitCode {
     };
     println!(
         "trace {:?}: {} indirect branches, {} sites",
-        trace.name(),
-        trace.indirect_count(),
-        trace.stats().distinct_sites
+        name, stats.indirect_branches, stats.distinct_sites
     );
 
     if args.sweep {
@@ -186,7 +196,11 @@ fn main() -> ExitCode {
             };
             let cfg = build(&sweep_args).expect("sweep config");
             let mut predictor = cfg.build();
-            let run = simulate(&trace, predictor.as_mut());
+            let run = open(&args.trace)
+                .and_then(|mut src| {
+                    simulate_source(&mut src, predictor.as_mut(), 0).map_err(|e| e.to_string())
+                })
+                .expect("sweep pass");
             println!("{p:>3} {:>11.2}%", run.misprediction_rate() * 100.0);
         }
         return ExitCode::SUCCESS;
@@ -201,7 +215,15 @@ fn main() -> ExitCode {
     };
     let mut predictor = cfg.build();
     println!("predictor: {}", predictor.name());
-    let run = simulate(&trace, predictor.as_mut());
+    let run = match open(&args.trace)
+        .and_then(|mut src| simulate_source(&mut src, predictor.as_mut(), 0).map_err(|e| e.to_string()))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "misprediction: {:.2}% ({} of {})",
         run.misprediction_rate() * 100.0,
@@ -212,7 +234,11 @@ fn main() -> ExitCode {
     if args.classify {
         match try_two_level(&args) {
             Some(mut tl) => {
-                let b = simulate_classified(&trace, &mut tl);
+                let b = open(&args.trace)
+                    .and_then(|mut src| {
+                        simulate_classified_source(&mut src, &mut tl).map_err(|e| e.to_string())
+                    })
+                    .expect("classify pass");
                 println!(
                     "breakdown: wrong-target {:.2}%, capacity {:.2}%, cold {:.2}%",
                     (b.misprediction_rate() - b.capacity_rate() - b.cold_rate()) * 100.0,
@@ -226,7 +252,11 @@ fn main() -> ExitCode {
 
     if args.per_site {
         let mut fresh = cfg.build();
-        let sites = simulate_per_site(&trace, fresh.as_mut());
+        let sites = open(&args.trace)
+            .and_then(|mut src| {
+                simulate_per_site_source(&mut src, fresh.as_mut()).map_err(|e| e.to_string())
+            })
+            .expect("per-site pass");
         println!("\nworst-predicted sites:");
         for s in sites.iter().take(10) {
             println!(

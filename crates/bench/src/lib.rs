@@ -9,7 +9,13 @@
 //!
 //! * `IBP_EVENTS` — indirect branches per benchmark trace (default
 //!   120 000). The paper traced 0.03M–6M events per program; larger values
-//!   flatten the long-path warm-up penalty at the cost of run time.
+//!   flatten the long-path warm-up penalty at the cost of run time. Beyond
+//!   250 000 events the suite streams (see `IBP_STREAM`), so even
+//!   multi-million-event runs hold memory constant.
+//! * `IBP_STREAM` — `1` forces streamed suites (traces regenerated chunk
+//!   by chunk, never materialised), `0` forces materialised suites; unset
+//!   picks by trace length.
+//! * `IBP_CHUNK` — events per streaming chunk (default 8192).
 //! * `IBP_RESULTS` — output directory for CSVs (default `results`).
 //! * `IBP_LOG` — stderr log level: `0` quiet (default), `1` per-sweep and
 //!   per-experiment progress, `2` debug detail. Unparseable values warn
@@ -94,6 +100,11 @@ pub struct ExperimentMetrics {
     /// Cache hit/miss and simulated-event deltas (see
     /// [`EngineStats::since`]).
     pub engine: EngineStats,
+    /// The process's peak RSS in bytes when the experiment finished
+    /// (`None` off Linux). A whole-run high-water mark, not a per-
+    /// experiment delta: compare it against a memory ceiling, not across
+    /// experiments.
+    pub peak_rss: Option<u64>,
 }
 
 impl ExperimentMetrics {
@@ -134,9 +145,14 @@ pub fn run_instrumented(experiment: &Experiment, suite: &Suite) -> (Vec<Table>, 
         id: experiment.id,
         wall: t0.elapsed(),
         engine: engine::stats().since(before),
+        peak_rss: obs::peak_rss_bytes(),
     };
+    if let Some(bytes) = metrics.peak_rss {
+        obs::event!("peak_rss", experiment = metrics.id, bytes = bytes);
+    }
     obs::info!(
-        "[{}] {:.2?}, {} hits / {} misses ({:.1}% hit rate), {} events ({:.0} events/s)",
+        "[{}] {:.2?}, {} hits / {} misses ({:.1}% hit rate), {} events ({:.0} events/s), \
+         peak rss {:.0} MB",
         metrics.id,
         metrics.wall,
         metrics.engine.hits,
@@ -144,6 +160,7 @@ pub fn run_instrumented(experiment: &Experiment, suite: &Suite) -> (Vec<Table>, 
         metrics.hit_rate_pct(),
         metrics.engine.simulated_events,
         metrics.events_per_sec(),
+        metrics.peak_rss.unwrap_or(0) as f64 / (1 << 20) as f64,
     );
     (tables, metrics)
 }
@@ -160,11 +177,11 @@ pub fn write_manifest(metrics: &[ExperimentMetrics]) -> std::io::Result<PathBuf>
     let dir = results_dir();
     fs::create_dir_all(&dir)?;
     let mut csv = String::from(
-        "experiment,wall_seconds,cache_hits,cache_misses,hit_rate_pct,simulated_events,events_per_sec\n",
+        "experiment,wall_seconds,cache_hits,cache_misses,hit_rate_pct,simulated_events,events_per_sec,peak_rss_mb\n",
     );
     for m in metrics {
         csv.push_str(&format!(
-            "{},{:.3},{},{},{:.1},{},{:.0}\n",
+            "{},{:.3},{},{},{:.1},{},{:.0},{:.1}\n",
             m.id,
             m.wall.as_secs_f64(),
             m.engine.hits,
@@ -172,6 +189,7 @@ pub fn write_manifest(metrics: &[ExperimentMetrics]) -> std::io::Result<PathBuf>
             m.hit_rate_pct(),
             m.engine.simulated_events,
             m.events_per_sec(),
+            m.peak_rss.unwrap_or(0) as f64 / (1 << 20) as f64,
         ));
     }
     let path = dir.join("manifest.csv");
@@ -199,9 +217,13 @@ pub fn print_summary(metrics: &[ExperimentMetrics], total_wall: Duration) {
     } else {
         0.0
     };
+    let rss = match metrics.iter().filter_map(|m| m.peak_rss).max() {
+        Some(bytes) => format!(", peak rss {:.0} MB", bytes as f64 / (1 << 20) as f64),
+        None => String::new(),
+    };
     eprintln!(
         "{} experiments in {:.2?}: {} cache hits / {} misses ({hit_pct:.1}% hit rate), \
-         {} indirect branches simulated ({rate:.0} events/s)",
+         {} indirect branches simulated ({rate:.0} events/s){rss}",
         metrics.len(),
         total_wall,
         total.hits,

@@ -66,12 +66,21 @@ fn repro_all_journals_one_root_span_per_experiment() {
     assert!(records.iter().any(|r| r.kind == Kind::Span && r.name == "worker"));
     assert!(records.iter().any(|r| r.kind == Kind::Metrics));
 
-    // The manifest gained the cache and simulated-events columns.
+    // On Linux the runner also journals the memory high-water mark.
+    if ibp_obs::peak_rss_bytes().is_some() {
+        let rss = records
+            .iter()
+            .find(|r| r.kind == Kind::Event && r.name == "peak_rss")
+            .expect("peak_rss event journaled");
+        assert!(rss.field_u64("bytes").expect("bytes field") > 0);
+    }
+
+    // The manifest gained the cache, simulated-events and peak-RSS columns.
     let manifest = std::fs::read_to_string(dir.join("manifest.csv")).expect("manifest.csv");
     let header = manifest.lines().next().expect("manifest header");
     assert_eq!(
         header,
-        "experiment,wall_seconds,cache_hits,cache_misses,hit_rate_pct,simulated_events,events_per_sec"
+        "experiment,wall_seconds,cache_hits,cache_misses,hit_rate_pct,simulated_events,events_per_sec,peak_rss_mb"
     );
     assert_eq!(manifest.lines().count(), experiments.len() + 1);
 

@@ -338,6 +338,24 @@ macro_rules! debug {
     };
 }
 
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable or
+/// unparseable (non-Linux platforms).
+///
+/// This is the whole-run high-water mark the kernel tracks — the figure to
+/// quote when claiming a run fits a memory ceiling, e.g. that a streamed
+/// million-event suite stays constant-memory.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb * 1024)
+}
+
 /// Appends a metrics-registry snapshot record to the journal (no-op when
 /// tracing is off). Call once at the end of a run.
 pub fn flush() {

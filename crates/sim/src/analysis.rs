@@ -10,7 +10,8 @@
 use std::collections::{HashMap, HashSet};
 
 use ibp_core::{Predictor, TwoLevelPredictor};
-use ibp_trace::{Addr, Trace, TraceEvent};
+use ibp_trace::io::TraceIoError;
+use ibp_trace::{chunk_events, Addr, EventSource, Trace, TraceChunk, TraceEvent};
 
 /// Misprediction breakdown by cause for a two-level predictor.
 ///
@@ -84,26 +85,48 @@ impl MissBreakdown {
 /// is a capacity/conflict miss, a missing key never seen is a cold miss.
 /// For unbounded tables the capacity class is structurally zero.
 pub fn simulate_classified(trace: &Trace, predictor: &mut TwoLevelPredictor) -> MissBreakdown {
+    simulate_classified_source(&mut trace.cursor(), predictor)
+        .expect("in-memory source cannot fail")
+}
+
+/// Streaming form of [`simulate_classified`]: folds the classifier over a
+/// chunked [`EventSource`] in bounded memory (apart from the ever-seen key
+/// set, which grows with the number of distinct patterns, not events).
+///
+/// # Errors
+///
+/// Propagates the source's I/O or parse failures (in-memory sources are
+/// infallible).
+pub fn simulate_classified_source<S: EventSource + ?Sized>(
+    source: &mut S,
+    predictor: &mut TwoLevelPredictor,
+) -> Result<MissBreakdown, TraceIoError> {
     let mut seen: HashSet<u64> = HashSet::new();
     let mut out = MissBreakdown::default();
-    for event in trace.events() {
-        match event {
-            TraceEvent::Indirect(b) => {
-                let key = predictor.key_fingerprint(b.pc);
-                let hit = predictor.lookup(b.pc);
-                match hit {
-                    Some(h) if h.target == b.target => out.hits += 1,
-                    Some(_) => out.wrong_target += 1,
-                    None if seen.contains(&key) => out.capacity += 1,
-                    None => out.cold += 1,
+    let mut chunk = TraceChunk::default();
+    loop {
+        let more = source.fill(&mut chunk, chunk_events())?;
+        for event in chunk.events() {
+            match event {
+                TraceEvent::Indirect(b) => {
+                    let key = predictor.key_fingerprint(b.pc);
+                    let hit = predictor.lookup(b.pc);
+                    match hit {
+                        Some(h) if h.target == b.target => out.hits += 1,
+                        Some(_) => out.wrong_target += 1,
+                        None if seen.contains(&key) => out.capacity += 1,
+                        None => out.cold += 1,
+                    }
+                    predictor.update(b.pc, b.target);
+                    seen.insert(key);
                 }
-                predictor.update(b.pc, b.target);
-                seen.insert(key);
+                TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
             }
-            TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
+        }
+        if !more {
+            return Ok(out);
         }
     }
-    out
 }
 
 /// Per-site misprediction statistics from one run.
@@ -135,19 +158,40 @@ impl SiteMisses {
 /// Useful for the "which sites dominate the misses" question that drives
 /// the paper's focus on a handful of megamorphic branches.
 pub fn simulate_per_site(trace: &Trace, predictor: &mut dyn Predictor) -> Vec<SiteMisses> {
+    simulate_per_site_source(&mut trace.cursor(), predictor)
+        .expect("in-memory source cannot fail")
+}
+
+/// Streaming form of [`simulate_per_site`]: memory is bounded by the chunk
+/// size plus one accumulator per distinct site.
+///
+/// # Errors
+///
+/// Propagates the source's I/O or parse failures.
+pub fn simulate_per_site_source<S: EventSource + ?Sized>(
+    source: &mut S,
+    predictor: &mut dyn Predictor,
+) -> Result<Vec<SiteMisses>, TraceIoError> {
     let mut per_site: HashMap<Addr, (u64, u64)> = HashMap::new();
-    for event in trace.events() {
-        match event {
-            TraceEvent::Indirect(b) => {
-                let predicted = predictor.predict(b.pc);
-                let entry = per_site.entry(b.pc).or_insert((0, 0));
-                entry.0 += 1;
-                if predicted != Some(b.target) {
-                    entry.1 += 1;
+    let mut chunk = TraceChunk::default();
+    loop {
+        let more = source.fill(&mut chunk, chunk_events())?;
+        for event in chunk.events() {
+            match event {
+                TraceEvent::Indirect(b) => {
+                    let predicted = predictor.predict(b.pc);
+                    let entry = per_site.entry(b.pc).or_insert((0, 0));
+                    entry.0 += 1;
+                    if predicted != Some(b.target) {
+                        entry.1 += 1;
+                    }
+                    predictor.update(b.pc, b.target);
                 }
-                predictor.update(b.pc, b.target);
+                TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
             }
-            TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
+        }
+        if !more {
+            break;
         }
     }
     let mut out: Vec<SiteMisses> = per_site
@@ -159,7 +203,7 @@ pub fn simulate_per_site(trace: &Trace, predictor: &mut dyn Predictor) -> Vec<Si
         })
         .collect();
     out.sort_by(|a, b| b.mispredicted.cmp(&a.mispredicted).then(a.pc.cmp(&b.pc)));
-    out
+    Ok(out)
 }
 
 /// Counts the distinct `(branch, path)` patterns a trace generates at a
@@ -167,12 +211,33 @@ pub fn simulate_per_site(trace: &Trace, predictor: &mut dyn Predictor) -> Vec<Si
 /// `p = 0` up to 9403 at `p = 12` for *ixx*).
 #[must_use]
 pub fn pattern_census(trace: &Trace, path_len: usize) -> usize {
+    pattern_census_source(&mut trace.cursor(), path_len).expect("in-memory source cannot fail")
+}
+
+/// Streaming form of [`pattern_census`]: table growth is bounded by the
+/// number of distinct patterns, never the trace length.
+///
+/// # Errors
+///
+/// Propagates the source's I/O or parse failures.
+pub fn pattern_census_source<S: EventSource + ?Sized>(
+    source: &mut S,
+    path_len: usize,
+) -> Result<usize, TraceIoError> {
     let mut predictor =
         TwoLevelPredictor::unconstrained(path_len, ibp_core::HistorySharing::GLOBAL);
-    for b in trace.indirect() {
-        predictor.update(b.pc, b.target);
+    let mut chunk = TraceChunk::default();
+    loop {
+        let more = source.fill(&mut chunk, chunk_events())?;
+        for event in chunk.events() {
+            if let TraceEvent::Indirect(b) = event {
+                predictor.update(b.pc, b.target);
+            }
+        }
+        if !more {
+            return Ok(predictor.stored_patterns());
+        }
     }
-    predictor.stored_patterns()
 }
 
 #[cfg(test)]

@@ -10,6 +10,10 @@
 //!   benchmarks into one work queue for
 //!   [`parallel_map`](crate::parallel_map), instead of barriering
 //!   per-configuration on 17 traces;
+//! * when the suite streams (`IBP_STREAM=1`, or traces beyond the length
+//!   threshold), the cells of one benchmark share a single chunked
+//!   generator pass ([`simulate_source_multi`]) instead of each
+//!   materialising or regenerating the trace;
 //! * results are memoized in a process-wide cache keyed by
 //!   `(PredictorConfig::cache_key(), benchmark, events, warmup)` — traces
 //!   are pure functions of `(benchmark, events)`, so a repeated pair is
@@ -36,7 +40,7 @@ use ibp_obs::metrics::Counter;
 use ibp_workload::Benchmark;
 
 use crate::parallel::parallel_map;
-use crate::run::{simulate_warm, RunStats};
+use crate::run::{simulate_source_multi, simulate_warm, RunStats};
 use crate::suite::{Suite, SuiteResult};
 
 /// Full identity of one memoized run. The trace is a pure function of
@@ -209,24 +213,32 @@ impl<'a> Sweep<'a> {
             }
         }
 
-        // Phase 2: simulate all missing units in one flat parallel queue.
-        let simulated: Vec<RunStats> = parallel_map(&units, |&(j, bi)| {
-            let b = benchmarks[bi];
-            // Queue wait: time from sweep start until a worker picked the
-            // cell up; the span's own duration is the run time.
-            let wait_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
-            let mut cell = obs::span("cell");
-            cell.note("config", self.jobs[j].key.as_str());
-            cell.note("benchmark", b.name());
-            cell.note("outcome", "miss");
-            cell.note("wait_us", wait_us);
-            let trace = self.suite.trace(b);
-            let mut p = (self.jobs[j].make)();
-            let stats = simulate_warm(trace, p.as_mut(), self.warmup);
-            cell.note("events", trace.indirect_count());
-            simulated_events().add(trace.indirect_count());
-            stats
-        });
+        // Phase 2: simulate all missing units. Materialized suites keep
+        // the flat (config × benchmark) queue, each cell re-walking the
+        // shared in-memory trace. Streamed suites never hold a trace, so
+        // the cells of one benchmark share a single generator pass with
+        // every event replayed into all of the group's predictors.
+        let simulated: Vec<RunStats> = if self.suite.streamed() {
+            self.run_units_streamed(&units, &benchmarks, t0)
+        } else {
+            parallel_map(&units, |&(j, bi)| {
+                let b = benchmarks[bi];
+                // Queue wait: time from sweep start until a worker picked
+                // the cell up; the span's own duration is the run time.
+                let wait_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let mut cell = obs::span("cell");
+                cell.note("config", self.jobs[j].key.as_str());
+                cell.note("benchmark", b.name());
+                cell.note("outcome", "miss");
+                cell.note("wait_us", wait_us);
+                let trace = self.suite.trace(b);
+                let mut p = (self.jobs[j].make)();
+                let stats = simulate_warm(trace, p.as_mut(), self.warmup);
+                cell.note("events", trace.indirect_count());
+                simulated_events().add(trace.indirect_count());
+                stats
+            })
+        };
         misses().add(units.len() as u64);
 
         // Phase 3: publish the new results, then fill every remaining slot
@@ -284,6 +296,58 @@ impl<'a> Sweep<'a> {
                         .collect(),
                 )
             })
+            .collect()
+    }
+
+    /// Streamed phase 2: groups units by benchmark and folds each group's
+    /// predictors over one shared generator pass
+    /// ([`simulate_source_multi`]), so a sweep of N configurations costs
+    /// one trace generation per benchmark instead of N. Results come back
+    /// in `units` order.
+    fn run_units_streamed(
+        &self,
+        units: &[(usize, usize)],
+        benchmarks: &[Benchmark],
+        t0: Instant,
+    ) -> Vec<RunStats> {
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (u, &(_, bi)) in units.iter().enumerate() {
+            match groups.iter_mut().find(|(gbi, _)| *gbi == bi) {
+                Some((_, members)) => members.push(u),
+                None => groups.push((bi, vec![u])),
+            }
+        }
+        let per_group: Vec<Vec<RunStats>> = parallel_map(&groups, |(bi, members)| {
+            let b = benchmarks[*bi];
+            let wait_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let mut cell = obs::span("cell");
+            cell.note("benchmark", b.name());
+            cell.note("outcome", "miss");
+            cell.note("configs", members.len());
+            cell.note("wait_us", wait_us);
+            let mut predictors: Vec<Box<dyn Predictor>> = members
+                .iter()
+                .map(|&u| (self.jobs[units[u].0].make)())
+                .collect();
+            let mut refs: Vec<&mut (dyn Predictor + 'static)> =
+                predictors.iter_mut().map(|p| &mut **p).collect();
+            let mut source = self.suite.source(b);
+            let stats = simulate_source_multi(&mut *source, &mut refs, self.warmup)
+                .expect("suite sources cannot fail");
+            cell.note("events", self.suite.events());
+            // Event accounting stays per-unit even though the pass is
+            // shared: each cell still scores one trace length of events.
+            simulated_events().add(self.suite.events() * members.len() as u64);
+            stats
+        });
+        let mut out: Vec<Option<RunStats>> = vec![None; units.len()];
+        for ((_, members), stats) in groups.iter().zip(per_group) {
+            for (&u, s) in members.iter().zip(stats) {
+                out[u] = Some(s);
+            }
+        }
+        out.into_iter()
+            .map(|s| s.expect("every unit simulated"))
             .collect()
     }
 }

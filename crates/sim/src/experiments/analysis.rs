@@ -4,7 +4,7 @@
 use ibp_core::{CompressedKeySpec, TwoLevelPredictor};
 use ibp_workload::Benchmark;
 
-use crate::analysis::{pattern_census, simulate_classified, MissBreakdown};
+use crate::analysis::{pattern_census_source, simulate_classified_source, MissBreakdown};
 use crate::parallel_map;
 use crate::report::{Cell, Table};
 use crate::suite::Suite;
@@ -36,7 +36,8 @@ pub fn miss_attribution(suite: &Suite) -> Table {
         let breakdowns: Vec<MissBreakdown> = parallel_map(&benchmarks, |&b| {
             let mut predictor =
                 TwoLevelPredictor::full_assoc(CompressedKeySpec::practical(p), size);
-            simulate_classified(suite.trace(b), &mut predictor)
+            simulate_classified_source(&mut *suite.source(b), &mut predictor)
+                .expect("suite sources cannot fail")
         });
         // AVG semantics: arithmetic mean of per-benchmark rates over the
         // non-infrequent members.
@@ -88,7 +89,9 @@ pub fn census(suite: &Suite) -> Table {
     let mut t = Table::new("§5.1: distinct patterns by path length", headers);
     let paths: Vec<usize> = (0..=12).collect();
     for &p in &paths {
-        let counts = parallel_map(&present, |&b| pattern_census(suite.trace(b), p));
+        let counts = parallel_map(&present, |&b| {
+            pattern_census_source(&mut *suite.source(b), p).expect("suite sources cannot fail")
+        });
         let mut row = vec![Cell::Count(p as u64)];
         row.extend(counts.into_iter().map(|c| Cell::Count(c as u64)));
         t.push_row(row);

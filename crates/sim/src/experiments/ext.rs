@@ -4,7 +4,7 @@ use ibp_core::ext::{
     AheadPredictor, CascadePredictor, IttageLite, MultiHybridPredictor, SharedTableHybrid,
 };
 use ibp_core::{CompressedKeySpec, Predictor, PredictorConfig, TwoLevelPredictor};
-use ibp_trace::TraceEvent;
+use ibp_trace::{chunk_events, TraceChunk, TraceEvent};
 use ibp_workload::{Benchmark, BenchmarkGroup};
 
 use crate::engine::Sweep;
@@ -115,7 +115,7 @@ pub fn ahead_accuracy(suite: &Suite) -> Table {
     // One pass per benchmark: maintain a window of pending chained
     // predictions and score each depth as branches resolve.
     let per_bench: Vec<Vec<f64>> = parallel_map(&present, |&b| {
-        let trace = suite.trace(b);
+        let mut source = suite.source(b);
         let max_depth = *depths.last().expect("depths");
         let mut predictor = AheadPredictor::new(4);
         // pending[d] = predictions made d+1 branches ago at chain depth d.
@@ -123,35 +123,44 @@ pub fn ahead_accuracy(suite: &Suite) -> Table {
             vec![std::collections::VecDeque::new(); max_depth];
         let mut correct = vec![0u64; max_depth];
         let mut scored = 0u64;
-        for event in trace.events() {
-            let TraceEvent::Indirect(br) = event else {
-                continue;
-            };
-            scored += 1;
-            // Score the chained predictions issued d branches ago.
-            for (d, queue) in pending.iter_mut().enumerate() {
-                if queue.len() > d {
-                    if let Some(pred) = queue.pop_front() {
-                        if pred.pc == br.pc && pred.target == br.target {
-                            correct[d] += 1;
+        let mut chunk = TraceChunk::default();
+        loop {
+            let more = source
+                .fill(&mut chunk, chunk_events())
+                .expect("suite sources cannot fail");
+            for event in chunk.events() {
+                let TraceEvent::Indirect(br) = event else {
+                    continue;
+                };
+                scored += 1;
+                // Score the chained predictions issued d branches ago.
+                for (d, queue) in pending.iter_mut().enumerate() {
+                    if queue.len() > d {
+                        if let Some(pred) = queue.pop_front() {
+                            if pred.pc == br.pc && pred.target == br.target {
+                                correct[d] += 1;
+                            }
                         }
                     }
                 }
-            }
-            // Resolve this branch first, then look ahead: chain[d] is the
-            // prediction for the branch d+1 steps in the future.
-            predictor.update(br.pc, br.target);
-            let chain = predictor.predict_chain(max_depth);
-            for (d, queue) in pending.iter_mut().enumerate() {
-                match chain.get(d) {
-                    Some(&p) => queue.push_back(p),
-                    None => queue.push_back(ibp_core::ext::AheadPrediction {
-                        // A sentinel that can never match (the zero address
-                        // never appears as a site).
-                        pc: ibp_trace::Addr::ZERO,
-                        target: ibp_trace::Addr::ZERO,
-                    }),
+                // Resolve this branch first, then look ahead: chain[d] is
+                // the prediction for the branch d+1 steps in the future.
+                predictor.update(br.pc, br.target);
+                let chain = predictor.predict_chain(max_depth);
+                for (d, queue) in pending.iter_mut().enumerate() {
+                    match chain.get(d) {
+                        Some(&p) => queue.push_back(p),
+                        None => queue.push_back(ibp_core::ext::AheadPrediction {
+                            // A sentinel that can never match (the zero
+                            // address never appears as a site).
+                            pc: ibp_trace::Addr::ZERO,
+                            target: ibp_trace::Addr::ZERO,
+                        }),
+                    }
                 }
+            }
+            if !more {
+                break;
             }
         }
         depths

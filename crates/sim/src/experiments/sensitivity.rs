@@ -7,13 +7,13 @@
 //! slope. This runner quantifies that, and backs the deviation note in
 //! EXPERIMENTS.md.
 
-use ibp_core::PredictorConfig;
+use ibp_core::{Predictor, PredictorConfig};
 use ibp_workload::Benchmark;
 
 use crate::parallel_map;
 use crate::report::{Cell, Table};
-use crate::run::simulate;
-use crate::suite::Suite;
+use crate::run::simulate_source_multi;
+use crate::suite::{streaming_enabled, Suite};
 
 /// Path lengths probed.
 pub const PATHS: [usize; 4] = [3, 6, 9, 12];
@@ -43,16 +43,24 @@ pub fn run_with_lengths(lengths: &[u64]) -> Vec<Table> {
         headers,
     );
     for &events in lengths {
-        // Generate traces at this length and average the three benchmarks.
+        // One generator pass per benchmark at this length, feeding all
+        // path-length predictors at once (results are identical to
+        // dedicated passes). Long lengths stream instead of materialising.
         let rates: Vec<Vec<f64>> = parallel_map(&BENCHMARKS, |&b| {
-            let trace = b.trace_with_len(events);
-            PATHS
+            let mut predictors: Vec<Box<dyn Predictor>> = PATHS
                 .iter()
-                .map(|&p| {
-                    let mut predictor = PredictorConfig::unconstrained(p).build();
-                    simulate(&trace, predictor.as_mut()).misprediction_rate()
-                })
-                .collect()
+                .map(|&p| PredictorConfig::unconstrained(p).build())
+                .collect();
+            let mut refs: Vec<&mut (dyn Predictor + 'static)> =
+                predictors.iter_mut().map(|p| &mut **p).collect();
+            let stats = if streaming_enabled(events) {
+                simulate_source_multi(&mut b.source(events), &mut refs, 0)
+            } else {
+                let trace = b.trace_with_len(events);
+                simulate_source_multi(&mut trace.cursor(), &mut refs, 0)
+            }
+            .expect("generator sources cannot fail");
+            stats.into_iter().map(|s| s.misprediction_rate()).collect()
         });
         let mean =
             |col: usize| -> f64 { rates.iter().map(|r| r[col]).sum::<f64>() / rates.len() as f64 };

@@ -40,8 +40,7 @@ pub fn run(suite: &Suite) -> Vec<Table> {
         ],
     );
     for b in suite.benchmarks() {
-        let trace = suite.trace(b);
-        let stats = trace.stats();
+        let stats = suite.stats(b);
         let row = vec![
             Cell::from(b.name()),
             Cell::Count(stats.indirect_branches),

@@ -4,7 +4,9 @@
 //! and reproduces the paper's evaluation methodology:
 //!
 //! * [`simulate`] — score one predictor over one trace (predict → compare →
-//!   update per indirect branch, §2's protocol);
+//!   update per indirect branch, §2's protocol); [`simulate_source`] and
+//!   [`simulate_source_multi`] are the streaming forms, folding over a
+//!   chunked [`ibp_trace::EventSource`] in constant memory;
 //! * [`Suite`] — the 17-benchmark suite with per-benchmark rates and the
 //!   paper's group averages (`AVG`, `AVG-OO`, …, Table 3 semantics);
 //! * [`engine`] — the memoizing sweep engine: flattens (config ×
@@ -40,5 +42,5 @@ mod run;
 mod suite;
 
 pub use parallel::parallel_map;
-pub use run::{simulate, simulate_warm, RunStats};
+pub use run::{simulate, simulate_source, simulate_source_multi, simulate_warm, RunStats};
 pub use suite::{Suite, SuiteResult};

@@ -1,7 +1,8 @@
-//! Scoring a predictor over a trace.
+//! Scoring a predictor over a trace or streaming event source.
 
 use ibp_core::Predictor;
-use ibp_trace::{Trace, TraceEvent};
+use ibp_trace::io::TraceIoError;
+use ibp_trace::{chunk_events, EventSource, Trace, TraceChunk, TraceEvent};
 
 /// The outcome of simulating one predictor over one trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,7 +48,7 @@ impl RunStats {
 /// (`None` scores as a miss), then update. Conditional-branch events are
 /// forwarded to [`Predictor::observe_cond`], which all §3.3-variation
 /// predictors use and everything else ignores.
-pub fn simulate(trace: &Trace, predictor: &mut dyn Predictor) -> RunStats {
+pub fn simulate(trace: &Trace, predictor: &mut (dyn Predictor + 'static)) -> RunStats {
     simulate_warm(trace, predictor, 0)
 }
 
@@ -61,40 +62,113 @@ pub fn simulate(trace: &Trace, predictor: &mut dyn Predictor) -> RunStats {
 ///
 /// With tracing on (`IBP_TRACE`), each run emits a `simulate` span carrying
 /// the warmup/scored split and the achieved events/sec.
-pub fn simulate_warm(trace: &Trace, predictor: &mut dyn Predictor, warmup: u64) -> RunStats {
+pub fn simulate_warm(
+    trace: &Trace,
+    predictor: &mut (dyn Predictor + 'static),
+    warmup: u64,
+) -> RunStats {
+    simulate_source(&mut trace.cursor(), predictor, warmup)
+        .expect("in-memory source cannot fail")
+}
+
+/// Folds a predictor over a streaming [`EventSource`]: identical scoring to
+/// [`simulate_warm`], but memory stays bounded by the chunk size.
+///
+/// # Errors
+///
+/// Propagates the source's I/O or parse failures (in-memory sources are
+/// infallible).
+pub fn simulate_source<S: EventSource + ?Sized>(
+    source: &mut S,
+    predictor: &mut (dyn Predictor + 'static),
+    warmup: u64,
+) -> Result<RunStats, TraceIoError> {
+    let mut stats = simulate_source_multi(source, &mut [predictor], warmup)?;
+    Ok(stats.pop().expect("one result per predictor"))
+}
+
+/// Folds several independent predictors over **one** pass of an
+/// [`EventSource`], returning one [`RunStats`] per predictor (in input
+/// order).
+///
+/// Each event is replayed into every predictor before the next event is
+/// read, so per-predictor results are exactly what a dedicated pass would
+/// produce — this is how sweep cells share a single generator pass instead
+/// of each regenerating (or materialising) the trace.
+///
+/// With tracing on (`IBP_TRACE`), the run emits a `simulate` span carrying
+/// the warmup/scored split, chunk count and the achieved events/sec, plus
+/// one `chunk` event per chunk with its own throughput.
+///
+/// # Errors
+///
+/// Propagates the source's I/O or parse failures.
+pub fn simulate_source_multi<S: EventSource + ?Sized>(
+    source: &mut S,
+    predictors: &mut [&mut (dyn Predictor + 'static)],
+    warmup: u64,
+) -> Result<Vec<RunStats>, TraceIoError> {
     let mut span = ibp_obs::span("simulate");
     let timer = span.armed().then(std::time::Instant::now);
-    let mut stats = RunStats::default();
+    let mut stats = vec![RunStats::default(); predictors.len()];
     let mut seen = 0u64;
-    for event in trace.events() {
-        match event {
-            TraceEvent::Indirect(b) => {
-                seen += 1;
-                if seen > warmup {
-                    let predicted = predictor.predict(b.pc);
-                    stats.indirect += 1;
-                    if predicted != Some(b.target) {
-                        stats.mispredicted += 1;
+    let mut chunks = 0u64;
+    let mut chunk = TraceChunk::default();
+    loop {
+        let chunk_timer = timer.map(|_| std::time::Instant::now());
+        let more = source.fill(&mut chunk, chunk_events())?;
+        for event in chunk.events() {
+            match event {
+                TraceEvent::Indirect(b) => {
+                    seen += 1;
+                    let scored = seen > warmup;
+                    for (predictor, stats) in predictors.iter_mut().zip(&mut stats) {
+                        if scored {
+                            let predicted = predictor.predict(b.pc);
+                            stats.indirect += 1;
+                            if predicted != Some(b.target) {
+                                stats.mispredicted += 1;
+                            }
+                        }
+                        predictor.update(b.pc, b.target);
                     }
                 }
-                predictor.update(b.pc, b.target);
+                TraceEvent::Cond(b) => {
+                    for predictor in predictors.iter_mut() {
+                        predictor.observe_cond(b.pc, b.outcome());
+                    }
+                }
             }
-            TraceEvent::Cond(b) => {
-                predictor.observe_cond(b.pc, b.outcome());
+        }
+        chunks += 1;
+        if let Some(t0) = chunk_timer {
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 && chunk.indirect_count() > 0 {
+                ibp_obs::event!(
+                    "chunk",
+                    trace = source.name(),
+                    indirect = chunk.indirect_count(),
+                    events_per_sec = (chunk.indirect_count() as f64 / secs).round()
+                );
             }
+        }
+        if !more {
+            break;
         }
     }
     if let Some(t0) = timer {
-        span.note("trace", trace.name());
+        span.note("trace", source.name());
         span.note("events", seen);
         span.note("warmup", seen.min(warmup));
-        span.note("scored", stats.indirect);
+        span.note("scored", stats.first().map_or(0, |s| s.indirect));
+        span.note("predictors", predictors.len());
+        span.note("chunks", chunks);
         let secs = t0.elapsed().as_secs_f64();
         if secs > 0.0 {
             span.note("events_per_sec", (seen as f64 / secs).round());
         }
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -158,6 +232,44 @@ mod tests {
         let mut p = PredictorConfig::btb_2bc().build();
         let r = simulate(&t, p.as_mut());
         assert_eq!(r.misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    fn source_fold_matches_whole_trace_fold() {
+        let t = alternating_trace(500);
+        for warmup in [0, 10] {
+            let mut p1 = PredictorConfig::unconstrained(2).build();
+            let whole = simulate_warm(&t, p1.as_mut(), warmup);
+            let mut p2 = PredictorConfig::unconstrained(2).build();
+            let streamed = simulate_source(&mut t.cursor(), p2.as_mut(), warmup).unwrap();
+            assert_eq!(whole, streamed, "warmup = {warmup}");
+        }
+    }
+
+    #[test]
+    fn multi_predictor_pass_matches_dedicated_passes() {
+        let t = alternating_trace(300);
+        let mut a = PredictorConfig::btb().build();
+        let mut b = PredictorConfig::btb_2bc().build();
+        let mut c = PredictorConfig::unconstrained(3).build();
+        let shared = simulate_source_multi(
+            &mut t.cursor(),
+            &mut [a.as_mut(), b.as_mut(), c.as_mut()],
+            5,
+        )
+        .unwrap();
+        let dedicated: Vec<RunStats> = [
+            PredictorConfig::btb(),
+            PredictorConfig::btb_2bc(),
+            PredictorConfig::unconstrained(3),
+        ]
+        .into_iter()
+        .map(|cfg| {
+            let mut p = cfg.build();
+            simulate_warm(&t, p.as_mut(), 5)
+        })
+        .collect();
+        assert_eq!(shared, dedicated);
     }
 
     #[test]

@@ -3,11 +3,11 @@
 use std::sync::OnceLock;
 
 use ibp_core::Predictor;
-use ibp_trace::Trace;
+use ibp_trace::{EventSource, Trace, TraceStats};
 use ibp_workload::{Benchmark, BenchmarkGroup};
 
 use crate::parallel::parallel_map;
-use crate::run::{simulate, RunStats};
+use crate::run::{simulate_source, RunStats};
 
 /// Default indirect-branch events per benchmark trace. Overridable with the
 /// `IBP_EVENTS` environment variable (experiments read it once at startup).
@@ -28,37 +28,95 @@ pub(crate) fn default_events() -> u64 {
     })
 }
 
-/// A set of benchmark traces, generated once and reused across predictor
-/// configurations (the expensive part of a sweep is simulation, not
-/// generation, but regenerating 17 traces per configuration would still
-/// dominate small runs).
+/// Above this trace length, suites stream by default instead of
+/// materialising (a materialised 17-benchmark suite at 250k events is
+/// already several hundred MB with interleaved conditionals).
+pub(crate) const STREAM_THRESHOLD: u64 = 250_000;
+
+/// `IBP_STREAM` override: `0` forces materialised suites, `1` forces
+/// streaming; unset picks by trace length.
+fn stream_override() -> Option<bool> {
+    static MODE: OnceLock<Option<bool>> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("IBP_STREAM") {
+        Ok(raw) => match raw.as_str() {
+            "0" => Some(false),
+            "1" => Some(true),
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid IBP_STREAM={raw:?} \
+                     (expected 0 or 1); choosing by trace length"
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
+/// Whether a suite of `events`-long traces streams (regenerates events
+/// chunk by chunk per consumer) rather than materialising whole traces.
+pub(crate) fn streaming_enabled(events: u64) -> bool {
+    stream_override().unwrap_or(events > STREAM_THRESHOLD)
+}
+
+/// How a suite holds one benchmark's events.
+#[derive(Debug)]
+enum TraceHandle {
+    /// The whole trace in memory — generated once, reused by every
+    /// consumer. The default at moderate lengths.
+    Materialized(Trace),
+    /// No stored events: each consumer pulls a fresh chunked generator
+    /// pass. Memory stays constant in the trace length.
+    Streamed,
+}
+
+/// A set of benchmark traces reused across predictor configurations.
+///
+/// At moderate lengths (up to [`STREAM_THRESHOLD`], or forced via
+/// `IBP_STREAM=0`) traces are generated once and materialised. Beyond
+/// that (or with `IBP_STREAM=1`) the suite holds no events at all:
+/// consumers pull chunked, resumable generator passes through
+/// [`source`](Suite::source), which makes million-event suites run in
+/// constant memory. Both modes produce event-identical streams.
 #[derive(Debug)]
 pub struct Suite {
-    traces: Vec<(Benchmark, Trace)>,
+    entries: Vec<(Benchmark, TraceHandle)>,
     events: u64,
 }
 
 impl Suite {
-    /// Generates all 17 benchmarks at the default trace length
+    /// Builds all 17 benchmarks at the default trace length
     /// (120k indirect branches, or `IBP_EVENTS`).
     #[must_use]
     pub fn new() -> Self {
         Suite::with_benchmarks(&Benchmark::ALL)
     }
 
-    /// Generates the given benchmarks at the default trace length.
+    /// Builds the given benchmarks at the default trace length.
     #[must_use]
     pub fn with_benchmarks(benchmarks: &[Benchmark]) -> Self {
         Suite::with_benchmarks_and_len(benchmarks, default_events())
     }
 
-    /// Generates the given benchmarks with `events` indirect branches each.
+    /// Builds the given benchmarks with `events` indirect branches each
+    /// (materialised or streamed per the `IBP_STREAM` policy).
     #[must_use]
     pub fn with_benchmarks_and_len(benchmarks: &[Benchmark], events: u64) -> Self {
-        let _span =
+        let streamed = streaming_enabled(events);
+        let mut span =
             ibp_obs::span!("generate_traces", benchmarks = benchmarks.len(), events = events);
-        let traces = parallel_map(benchmarks, |&b| (b, b.trace_with_len(events)));
-        Suite { traces, events }
+        span.note("mode", if streamed { "streamed" } else { "materialized" });
+        let entries = if streamed {
+            benchmarks
+                .iter()
+                .map(|&b| (b, TraceHandle::Streamed))
+                .collect()
+        } else {
+            parallel_map(benchmarks, |&b| {
+                (b, TraceHandle::Materialized(b.trace_with_len(events)))
+            })
+        };
+        Suite { entries, events }
     }
 
     /// The indirect-branch event count each trace was generated with.
@@ -70,25 +128,72 @@ impl Suite {
         self.events
     }
 
+    /// Whether this suite streams (holds no materialised traces).
+    #[must_use]
+    pub fn streamed(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|(_, h)| matches!(h, TraceHandle::Streamed))
+    }
+
     /// All benchmarks in the suite, in construction order.
     #[must_use]
     pub fn benchmarks(&self) -> Vec<Benchmark> {
-        self.traces.iter().map(|(b, _)| *b).collect()
+        self.entries.iter().map(|(b, _)| *b).collect()
     }
 
-    /// The trace for a benchmark.
+    fn handle(&self, benchmark: Benchmark) -> &TraceHandle {
+        &self
+            .entries
+            .iter()
+            .find(|(b, _)| *b == benchmark)
+            .unwrap_or_else(|| panic!("benchmark {benchmark} not in suite"))
+            .1
+    }
+
+    /// The materialised trace for a benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark is not part of this suite, or if the suite
+    /// streams (use [`source`](Suite::source) / [`stats`](Suite::stats),
+    /// which work in both modes).
+    #[must_use]
+    pub fn trace(&self, benchmark: Benchmark) -> &Trace {
+        match self.handle(benchmark) {
+            TraceHandle::Materialized(trace) => trace,
+            TraceHandle::Streamed => panic!(
+                "benchmark {benchmark} is streamed (suite built at {} events); \
+                 use Suite::source or Suite::stats",
+                self.events
+            ),
+        }
+    }
+
+    /// A fresh event source replaying the benchmark's trace: a cursor over
+    /// the materialised trace, or a new generator pass when streaming.
     ///
     /// # Panics
     ///
     /// Panics if the benchmark is not part of this suite.
     #[must_use]
-    pub fn trace(&self, benchmark: Benchmark) -> &Trace {
-        &self
-            .traces
-            .iter()
-            .find(|(b, _)| *b == benchmark)
-            .unwrap_or_else(|| panic!("benchmark {benchmark} not in suite"))
-            .1
+    pub fn source(&self, benchmark: Benchmark) -> Box<dyn EventSource + '_> {
+        match self.handle(benchmark) {
+            TraceHandle::Materialized(trace) => Box::new(trace.cursor()),
+            TraceHandle::Streamed => Box::new(benchmark.source(self.events)),
+        }
+    }
+
+    /// The benchmark's [`TraceStats`], computed incrementally in streaming
+    /// mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark is not part of this suite.
+    #[must_use]
+    pub fn stats(&self, benchmark: Benchmark) -> TraceStats {
+        TraceStats::from_source(&mut *self.source(benchmark))
+            .expect("suite sources cannot fail")
     }
 
     /// Runs a fresh predictor (from `make`) over every benchmark, in
@@ -98,9 +203,12 @@ impl Suite {
     where
         F: Fn() -> Box<dyn Predictor> + Sync,
     {
-        let rates = parallel_map(&self.traces, |(b, trace)| {
+        let benchmarks = self.benchmarks();
+        let rates = parallel_map(&benchmarks, |&b| {
             let mut p = make();
-            (*b, simulate(trace, p.as_mut()))
+            let stats = simulate_source(&mut *self.source(b), p.as_mut(), 0)
+                .expect("suite sources cannot fail");
+            (b, stats)
         });
         SuiteResult { runs: rates }
     }
@@ -223,6 +331,38 @@ mod tests {
         assert!((r.avg() - expect).abs() < 1e-12);
         // No infrequent benchmark present.
         assert!(r.group_rate(BenchmarkGroup::AvgInfreq).is_none());
+    }
+
+    #[test]
+    fn long_suites_stream_without_materialising() {
+        // Construction is free: no generation happens until a source is
+        // pulled, and then only chunk by chunk.
+        let s = Suite::with_benchmarks_and_len(&[Benchmark::Ixx], STREAM_THRESHOLD + 1);
+        assert!(s.streamed());
+        assert_eq!(s.benchmarks(), vec![Benchmark::Ixx]);
+        let mut src = s.source(Benchmark::Ixx);
+        assert_eq!(src.remaining_indirect(), Some(STREAM_THRESHOLD + 1));
+        let mut chunk = ibp_trace::TraceChunk::default();
+        let more = src.fill(&mut chunk, 64).unwrap();
+        assert!(more);
+        assert_eq!(chunk.indirect_count(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "use Suite::source")]
+    fn streamed_trace_access_panics() {
+        let s = Suite::with_benchmarks_and_len(&[Benchmark::Ixx], STREAM_THRESHOLD + 1);
+        let _ = s.trace(Benchmark::Ixx);
+    }
+
+    #[test]
+    fn stats_match_trace_stats_in_materialized_mode() {
+        let s = tiny_suite();
+        let direct = s.trace(Benchmark::Ixx).stats();
+        let via_suite = s.stats(Benchmark::Ixx);
+        assert_eq!(direct.indirect_branches, via_suite.indirect_branches);
+        assert_eq!(direct.distinct_sites, via_suite.distinct_sites);
+        assert_eq!(direct.sites, via_suite.sites);
     }
 
     #[test]

@@ -20,7 +20,15 @@
 //! csum 30                    # summarised conditional branches (count only)
 //! ```
 //!
-//! Addresses are hex (with or without `0x`) and must be word-aligned.
+//! Addresses are hex (with or without `0x`) and must be word-aligned. A
+//! `name` record must precede the first event so that streaming readers
+//! can report the trace name before any event is consumed.
+//!
+//! Both directions stream: [`write_text_source`] drains any
+//! [`EventSource`] chunk by chunk, and [`TextSource`] parses a file
+//! incrementally, so neither end ever holds a whole trace in memory.
+//! [`write_text`] / [`read_text`] are the materialised convenience
+//! wrappers.
 //!
 //! # Example
 //!
@@ -43,6 +51,7 @@
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
+use crate::source::{chunk_events, collect_source, EventSource, TraceChunk};
 use crate::{Addr, BranchKind, Trace};
 
 /// Error reading or writing a trace file.
@@ -125,46 +134,60 @@ fn parse_kind(token: &str, line: usize) -> Result<BranchKind, TraceIoError> {
 ///
 /// Returns any underlying I/O error.
 pub fn write_text<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceIoError> {
+    write_text_source(&mut trace.cursor(), writer)
+}
+
+/// Streams an [`EventSource`] to IBPT text, one chunk at a time.
+///
+/// Each chunk's counters become `instr`/`csum` records ahead of its
+/// events; gap *structure* between events is not semantically meaningful
+/// to the predictors, only the totals are. A [`Trace::cursor`] source
+/// produces byte-identical output to the historical whole-trace writer
+/// (one front-loaded `instr` and `csum` record).
+///
+/// # Errors
+///
+/// Returns underlying I/O errors and the source's own failures.
+pub fn write_text_source<S, W>(source: &mut S, writer: W) -> Result<(), TraceIoError>
+where
+    S: EventSource + ?Sized,
+    W: Write,
+{
     let mut w = io::BufWriter::new(writer);
     writeln!(w, "ibpt 1")?;
-    if !trace.name().is_empty() {
-        writeln!(w, "name {}", trace.name())?;
+    if !source.name().is_empty() {
+        writeln!(w, "name {}", source.name())?;
     }
-    // Reconstruct instruction gaps: total instructions minus the branch
-    // events themselves, front-loaded as one `instr` record (gap structure
-    // between events is not semantically meaningful to the predictors).
-    let events = trace.len() as u64;
-    let cond_summarised = {
-        let materialised = trace
-            .events()
-            .iter()
-            .filter(|e| e.as_cond().is_some())
-            .count() as u64;
-        trace.cond_count() - materialised
-    };
-    let plain = trace.instructions() - events - cond_summarised;
-    if plain > 0 {
-        writeln!(w, "instr {plain}")?;
-    }
-    if cond_summarised > 0 {
-        writeln!(w, "csum {cond_summarised}")?;
-    }
-    for event in trace.events() {
-        match event {
-            crate::TraceEvent::Indirect(b) => writeln!(
-                w,
-                "i {:#x} {:#x} {}",
-                b.pc.raw(),
-                b.target.raw(),
-                kind_code(b.kind)
-            )?,
-            crate::TraceEvent::Cond(b) => writeln!(
-                w,
-                "c {:#x} {:#x} {}",
-                b.pc.raw(),
-                b.target.raw(),
-                if b.taken { 't' } else { 'n' }
-            )?,
+    let mut chunk = TraceChunk::default();
+    loop {
+        let more = source.fill(&mut chunk, chunk_events())?;
+        let plain = chunk.plain_instructions();
+        if plain > 0 {
+            writeln!(w, "instr {plain}")?;
+        }
+        if chunk.cond_summarised() > 0 {
+            writeln!(w, "csum {}", chunk.cond_summarised())?;
+        }
+        for event in chunk.events() {
+            match event {
+                crate::TraceEvent::Indirect(b) => writeln!(
+                    w,
+                    "i {:#x} {:#x} {}",
+                    b.pc.raw(),
+                    b.target.raw(),
+                    kind_code(b.kind)
+                )?,
+                crate::TraceEvent::Cond(b) => writeln!(
+                    w,
+                    "c {:#x} {:#x} {}",
+                    b.pc.raw(),
+                    b.target.raw(),
+                    if b.taken { 't' } else { 'n' }
+                )?,
+            }
+        }
+        if !more {
+            break;
         }
     }
     w.flush()?;
@@ -178,104 +201,199 @@ pub fn write_text<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceIoError
 /// Returns [`TraceIoError::Parse`] on malformed input (with the line
 /// number) and [`TraceIoError::Io`] on read failures.
 pub fn read_text<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
-    let mut trace = Trace::new("");
-    let mut lines = BufReader::new(reader).lines();
-    let mut line_no = 0usize;
+    collect_source(&mut TextSource::new(reader)?)
+}
 
-    // Header.
-    let header = loop {
-        line_no += 1;
-        match lines.next() {
-            None => return Err(parse_error(line_no, "empty input, expected `ibpt 1`")),
-            Some(l) => {
-                let l = l?;
-                let t = l.trim();
-                if !t.is_empty() && !t.starts_with('#') {
-                    break t.to_string();
+/// One parsed IBPT record.
+enum Record {
+    Instr(u64),
+    Csum(u64),
+    Indirect(Addr, Addr, BranchKind),
+    Cond(Addr, Addr, bool),
+}
+
+/// A streaming IBPT reader: parses the file incrementally, handing out
+/// events one [`TraceChunk`] at a time, in memory proportional to the
+/// chunk size.
+///
+/// The header and any leading `name`/`instr`/`csum` records are consumed
+/// eagerly at construction so [`EventSource::name`] is available before
+/// the first event; the pre-event counters are carried by the first chunk.
+pub struct TextSource<R: Read> {
+    lines: io::Lines<BufReader<R>>,
+    line_no: usize,
+    name: String,
+    pending_instr: u64,
+    pending_csum: u64,
+    queued: Option<Record>,
+    started: bool,
+    done: bool,
+}
+
+impl<R: Read> TextSource<R> {
+    /// Opens a reader, parsing the `ibpt 1` header and any pre-event
+    /// metadata records.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing/invalid header or unreadable input.
+    pub fn new(reader: R) -> Result<Self, TraceIoError> {
+        let mut lines = BufReader::new(reader).lines();
+        let mut line_no = 0usize;
+        let header = loop {
+            line_no += 1;
+            match lines.next() {
+                None => return Err(parse_error(line_no, "empty input, expected `ibpt 1`")),
+                Some(l) => {
+                    let l = l?;
+                    let t = l.trim();
+                    if !t.is_empty() && !t.starts_with('#') {
+                        break t.to_string();
+                    }
+                }
+            }
+        };
+        if header != "ibpt 1" {
+            return Err(parse_error(
+                line_no,
+                format!("expected header `ibpt 1`, found {header:?}"),
+            ));
+        }
+        let mut source = TextSource {
+            lines,
+            line_no,
+            name: String::new(),
+            pending_instr: 0,
+            pending_csum: 0,
+            queued: None,
+            started: false,
+            done: false,
+        };
+        // Metadata prologue: gather name/instr/csum up to the first event.
+        loop {
+            match source.next_record()? {
+                None => break,
+                Some(Record::Instr(n)) => source.pending_instr += n,
+                Some(Record::Csum(n)) => source.pending_csum += n,
+                Some(record) => {
+                    source.queued = Some(record);
+                    break;
                 }
             }
         }
-    };
-    if header != "ibpt 1" {
-        return Err(parse_error(
-            line_no,
-            format!("expected header `ibpt 1`, found {header:?}"),
-        ));
+        Ok(source)
     }
 
-    for l in lines {
-        line_no += 1;
-        let l = l?;
-        let t = l.trim();
-        if t.is_empty() || t.starts_with('#') {
-            continue;
+    /// Parses lines until one yields a record; `Ok(None)` at end of input.
+    /// `name` records are handled inline (valid only before any event).
+    fn next_record(&mut self) -> Result<Option<Record>, TraceIoError> {
+        for l in self.lines.by_ref() {
+            self.line_no += 1;
+            let line_no = self.line_no;
+            let l = l?;
+            let t = l.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            // Strip trailing comment.
+            let t = t.split('#').next().unwrap_or("").trim();
+            if t.is_empty() {
+                continue;
+            }
+            let mut tok = t.split_whitespace();
+            let tag = tok.next().expect("non-empty line");
+            let mut need = |what: &str| {
+                tok.next()
+                    .ok_or_else(|| parse_error(line_no, format!("missing {what}")))
+            };
+            let record = match tag {
+                "name" => {
+                    if self.started || self.queued.is_some() {
+                        return Err(parse_error(
+                            line_no,
+                            "name record must precede the first event",
+                        ));
+                    }
+                    self.name = need("name")?.to_string();
+                    continue;
+                }
+                "instr" => {
+                    let n: u64 = need("count")?
+                        .parse()
+                        .map_err(|_| parse_error(line_no, "bad instruction count"))?;
+                    Record::Instr(n)
+                }
+                "csum" => {
+                    let n: u64 = need("count")?
+                        .parse()
+                        .map_err(|_| parse_error(line_no, "bad csum count"))?;
+                    Record::Csum(n)
+                }
+                "i" => {
+                    let pc = parse_addr(need("pc")?, line_no)?;
+                    let target = parse_addr(need("target")?, line_no)?;
+                    let kind = parse_kind(need("kind")?, line_no)?;
+                    Record::Indirect(pc, target, kind)
+                }
+                "c" => {
+                    let pc = parse_addr(need("pc")?, line_no)?;
+                    let target = parse_addr(need("target")?, line_no)?;
+                    let taken = match need("taken flag")? {
+                        "t" => true,
+                        "n" => false,
+                        other => {
+                            return Err(parse_error(line_no, format!("bad taken flag {other:?}")))
+                        }
+                    };
+                    Record::Cond(pc, target, taken)
+                }
+                other => return Err(parse_error(line_no, format!("unknown record {other:?}"))),
+            };
+            return Ok(Some(record));
         }
-        // Strip trailing comment.
-        let t = t.split('#').next().unwrap_or("").trim();
-        if t.is_empty() {
-            continue;
-        }
-        let mut tok = t.split_whitespace();
-        let tag = tok.next().expect("non-empty line");
-        let mut need = |what: &str| {
-            tok.next()
-                .ok_or_else(|| parse_error(line_no, format!("missing {what}")))
-        };
-        match tag {
-            "name" => {
-                let name = need("name")?.to_string();
-                trace = rename(trace, name);
-            }
-            "instr" => {
-                let n: u64 = need("count")?
-                    .parse()
-                    .map_err(|_| parse_error(line_no, "bad instruction count"))?;
-                trace.record_instructions(n);
-            }
-            "csum" => {
-                let n: u64 = need("count")?
-                    .parse()
-                    .map_err(|_| parse_error(line_no, "bad csum count"))?;
-                trace.record_cond_summary(n);
-            }
-            "i" => {
-                let pc = parse_addr(need("pc")?, line_no)?;
-                let target = parse_addr(need("target")?, line_no)?;
-                let kind = parse_kind(need("kind")?, line_no)?;
-                trace.push_indirect(pc, target, kind);
-            }
-            "c" => {
-                let pc = parse_addr(need("pc")?, line_no)?;
-                let target = parse_addr(need("target")?, line_no)?;
-                let taken = match need("taken flag")? {
-                    "t" => true,
-                    "n" => false,
-                    other => return Err(parse_error(line_no, format!("bad taken flag {other:?}"))),
-                };
-                trace.push_cond(pc, target, taken);
-            }
-            other => return Err(parse_error(line_no, format!("unknown record {other:?}"))),
-        }
+        Ok(None)
     }
-    Ok(trace)
 }
 
-// Trace names are fixed at construction; rebuilding preserves counters by
-// replay. Cheap relative to file I/O and keeps `Trace`'s invariants in one
-// place.
-fn rename(old: Trace, name: String) -> Trace {
-    let materialised_cond = old
-        .events()
-        .iter()
-        .filter(|e| e.as_cond().is_some())
-        .count() as u64;
-    let summarised_cond = old.cond_count() - materialised_cond;
-    let plain = old.instructions() - old.len() as u64 - summarised_cond;
-    let mut t = Trace::with_capacity(name, old.len());
-    t.record_instructions(plain);
-    t.record_cond_summary(summarised_cond);
-    t.extend(old.events().iter().copied());
-    t
+impl<R: Read> EventSource for TextSource<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fill(&mut self, chunk: &mut TraceChunk, max_indirect: u64) -> Result<bool, TraceIoError> {
+        chunk.clear();
+        if !self.started {
+            self.started = true;
+            chunk.record_instructions(self.pending_instr);
+            chunk.record_cond_summary(self.pending_csum);
+        }
+        if self.done {
+            return Ok(false);
+        }
+        let mut indirect = 0u64;
+        while indirect < max_indirect {
+            let record = match self.queued.take() {
+                Some(r) => r,
+                None => match self.next_record()? {
+                    Some(r) => r,
+                    None => {
+                        self.done = true;
+                        return Ok(false);
+                    }
+                },
+            };
+            match record {
+                Record::Instr(n) => chunk.record_instructions(n),
+                Record::Csum(n) => chunk.record_cond_summary(n),
+                Record::Indirect(pc, target, kind) => {
+                    chunk.push_indirect(pc, target, kind);
+                    indirect += 1;
+                }
+                Record::Cond(pc, target, taken) => chunk.push_cond(pc, target, taken),
+            }
+        }
+        Ok(true)
+    }
 }
 
 #[cfg(test)]
@@ -372,6 +490,56 @@ csum 3
             let back = round_trip(&t);
             assert_eq!(back.indirect().next().unwrap().kind, kind);
         }
+    }
+
+    #[test]
+    fn text_source_streams_in_bounded_chunks() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).expect("write");
+        let mut source = TextSource::new(&buf[..]).expect("header");
+        assert_eq!(source.name(), "sample");
+        let mut rebuilt = Trace::new(source.name().to_owned());
+        let mut chunk = TraceChunk::default();
+        loop {
+            let more = source.fill(&mut chunk, 1).expect("parse");
+            assert!(chunk.indirect_count() <= 1);
+            rebuilt.extend_chunk(&chunk);
+            if !more {
+                break;
+            }
+        }
+        assert_eq!(rebuilt.events(), t.events());
+        assert_eq!(rebuilt.instructions(), t.instructions());
+        assert_eq!(rebuilt.cond_count(), t.cond_count());
+    }
+
+    #[test]
+    fn streamed_writer_output_matches_whole_trace_writer() {
+        let t = sample();
+        let mut whole = Vec::new();
+        write_text(&t, &mut whole).expect("write");
+        let mut streamed = Vec::new();
+        write_text_source(&mut t.cursor(), &mut streamed).expect("write");
+        assert_eq!(whole, streamed);
+    }
+
+    #[test]
+    fn round_trip_through_streaming_reader_and_writer() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_text_source(&mut t.cursor(), &mut buf).expect("write");
+        let mut source = TextSource::new(&buf[..]).expect("header");
+        let back = crate::collect_source(&mut source).expect("read");
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.events(), t.events());
+        assert_eq!(back.instructions(), t.instructions());
+    }
+
+    #[test]
+    fn name_after_events_is_rejected() {
+        let err = read_text("ibpt 1\ni 0x100 0x900 v\nname late\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("precede"), "{err}");
     }
 
     #[test]

@@ -33,10 +33,14 @@
 mod addr;
 mod event;
 pub mod io;
+mod source;
 mod stats;
 mod trace;
 
 pub use addr::{Addr, UnalignedAddrError};
 pub use event::{BranchKind, CondBranch, IndirectBranch, TraceEvent};
-pub use stats::{CoverageLevel, SiteStats, TraceStats};
+pub use source::{
+    chunk_events, collect_source, EventSource, TraceChunk, TraceCursor, DEFAULT_CHUNK_EVENTS,
+};
+pub use stats::{CoverageLevel, SiteStats, TraceStats, TraceStatsBuilder};
 pub use trace::{IndirectIter, Trace};

@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::io::TraceIoError;
+use crate::source::{chunk_events, EventSource, TraceChunk};
 use crate::{Addr, BranchKind, Trace};
 
 /// Coverage thresholds used by the "active branch sites" columns of the
@@ -108,53 +110,29 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
-    /// Computes statistics for a trace.
+    /// Computes statistics for a materialised trace (streams it through a
+    /// [`TraceStatsBuilder`], so this is definitionally identical to the
+    /// incremental path).
     #[must_use]
     pub fn compute(trace: &Trace) -> Self {
-        struct Acc {
-            kind: BranchKind,
-            executions: u64,
-            targets: HashMap<Addr, u64>,
-        }
-        let mut per_site: HashMap<Addr, Acc> = HashMap::new();
-        let mut virtual_execs = 0u64;
-        for b in trace.indirect() {
-            if b.kind == BranchKind::VirtualCall {
-                virtual_execs += 1;
+        TraceStats::from_source(&mut trace.cursor()).expect("in-memory source cannot fail")
+    }
+
+    /// Computes statistics by draining an [`EventSource`], holding only one
+    /// chunk plus the per-site accumulators in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's I/O or parse failures.
+    pub fn from_source<S: EventSource + ?Sized>(source: &mut S) -> Result<Self, TraceIoError> {
+        let mut builder = TraceStatsBuilder::new();
+        let mut chunk = TraceChunk::default();
+        loop {
+            let more = source.fill(&mut chunk, chunk_events())?;
+            builder.record_chunk(&chunk);
+            if !more {
+                return Ok(builder.finish());
             }
-            let acc = per_site.entry(b.pc).or_insert_with(|| Acc {
-                kind: b.kind,
-                executions: 0,
-                targets: HashMap::new(),
-            });
-            acc.executions += 1;
-            *acc.targets.entry(b.target).or_insert(0) += 1;
-        }
-
-        let mut sites: Vec<SiteStats> = per_site
-            .into_iter()
-            .map(|(pc, acc)| SiteStats {
-                pc,
-                kind: acc.kind,
-                executions: acc.executions,
-                distinct_targets: acc.targets.len(),
-                dominant_target_executions: acc.targets.values().copied().max().unwrap_or(0),
-            })
-            .collect();
-        sites.sort_by(|a, b| b.executions.cmp(&a.executions).then(a.pc.cmp(&b.pc)));
-
-        let total = trace.indirect_count();
-        TraceStats {
-            indirect_branches: total,
-            instructions_per_indirect: trace.instructions_per_indirect(),
-            cond_per_indirect: trace.cond_per_indirect(),
-            virtual_fraction: if total == 0 {
-                0.0
-            } else {
-                virtual_execs as f64 / total as f64
-            },
-            distinct_sites: sites.len(),
-            sites,
         }
     }
 
@@ -206,6 +184,94 @@ impl TraceStats {
             .map(|s| s.dominant_target_executions)
             .sum();
         dom as f64 / self.indirect_branches as f64
+    }
+}
+
+struct SiteAcc {
+    kind: BranchKind,
+    executions: u64,
+    targets: HashMap<Addr, u64>,
+}
+
+/// Incremental [`TraceStats`] accumulation over [`TraceChunk`]s.
+///
+/// Feed every chunk of a source in order, then call
+/// [`finish`](TraceStatsBuilder::finish); the result is identical to
+/// [`TraceStats::compute`] on the materialised trace. Memory is bounded by
+/// the number of distinct sites and targets, not the trace length.
+#[derive(Default)]
+pub struct TraceStatsBuilder {
+    per_site: HashMap<Addr, SiteAcc>,
+    virtual_execs: u64,
+    indirect: u64,
+    cond: u64,
+    instructions: u64,
+}
+
+impl TraceStatsBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceStatsBuilder::default()
+    }
+
+    /// Folds one chunk's events and counters into the running statistics.
+    pub fn record_chunk(&mut self, chunk: &TraceChunk) {
+        for event in chunk.events() {
+            if let Some(b) = event.as_indirect() {
+                if b.kind == BranchKind::VirtualCall {
+                    self.virtual_execs += 1;
+                }
+                let acc = self.per_site.entry(b.pc).or_insert_with(|| SiteAcc {
+                    kind: b.kind,
+                    executions: 0,
+                    targets: HashMap::new(),
+                });
+                acc.executions += 1;
+                *acc.targets.entry(b.target).or_insert(0) += 1;
+            }
+        }
+        self.indirect += chunk.indirect_count();
+        self.cond += chunk.cond_count();
+        self.instructions += chunk.instructions();
+    }
+
+    /// Finalises the accumulated statistics.
+    #[must_use]
+    pub fn finish(self) -> TraceStats {
+        let mut sites: Vec<SiteStats> = self
+            .per_site
+            .into_iter()
+            .map(|(pc, acc)| SiteStats {
+                pc,
+                kind: acc.kind,
+                executions: acc.executions,
+                distinct_targets: acc.targets.len(),
+                dominant_target_executions: acc.targets.values().copied().max().unwrap_or(0),
+            })
+            .collect();
+        sites.sort_by(|a, b| b.executions.cmp(&a.executions).then(a.pc.cmp(&b.pc)));
+
+        let total = self.indirect;
+        let per_indirect = |count: u64| {
+            if total == 0 {
+                f64::INFINITY
+            } else {
+                count as f64 / total as f64
+            }
+        };
+        TraceStats {
+            indirect_branches: total,
+            instructions_per_indirect: per_indirect(self.instructions),
+            cond_per_indirect: per_indirect(self.cond),
+            virtual_fraction: if total == 0 {
+                0.0
+            } else {
+                self.virtual_execs as f64 / total as f64
+            },
+            distinct_sites: sites.len(),
+            sites,
+        }
     }
 }
 
@@ -286,6 +352,39 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.sites[0].pc, site(0x20));
         assert_eq!(s.sites[1].pc, site(0x10));
+    }
+
+    #[test]
+    fn builder_matches_compute_at_any_chunking() {
+        let mut t = trace_with_counts(&[
+            (0x10, &[(0x100, 9), (0x140, 3)]),
+            (0x20, &[(0x200, 5)]),
+            (0x30, &[(0x300, 2), (0x340, 2), (0x380, 1)]),
+        ]);
+        t.record_instructions(500);
+        t.record_cond_summary(30);
+        let whole = t.stats();
+        for max in [1, 2, 5, 100] {
+            let mut cursor = t.cursor();
+            let mut chunk = TraceChunk::default();
+            let mut builder = TraceStatsBuilder::new();
+            loop {
+                let more = cursor.fill(&mut chunk, max).expect("in-memory");
+                builder.record_chunk(&chunk);
+                if !more {
+                    break;
+                }
+            }
+            let streamed = builder.finish();
+            assert_eq!(streamed.indirect_branches, whole.indirect_branches);
+            assert_eq!(streamed.sites, whole.sites, "max_indirect = {max}");
+            assert!(
+                (streamed.instructions_per_indirect - whole.instructions_per_indirect).abs()
+                    < 1e-12
+            );
+            assert!((streamed.cond_per_indirect - whole.cond_per_indirect).abs() < 1e-12);
+            assert!((streamed.virtual_fraction - whole.virtual_fraction).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Whole-program traces.
 
+use crate::source::{TraceChunk, TraceCursor};
 use crate::{Addr, BranchKind, CondBranch, IndirectBranch, TraceEvent, TraceStats};
 
 /// An ordered record of a program's branch behaviour.
@@ -134,6 +135,21 @@ impl Trace {
             TraceEvent::Indirect(b) => self.push_indirect(b.pc, b.target, b.kind),
             TraceEvent::Cond(b) => self.push_cond(b.pc, b.target, b.taken),
         }
+    }
+
+    /// Appends a whole [`TraceChunk`]: its events in order plus its counter
+    /// deltas (plain instructions, summarised conditionals).
+    pub fn extend_chunk(&mut self, chunk: &TraceChunk) {
+        self.events.extend_from_slice(chunk.events());
+        self.instructions += chunk.instructions();
+        self.indirect_count += chunk.indirect_count();
+        self.cond_count += chunk.cond_count();
+    }
+
+    /// An [`EventSource`](crate::EventSource) replaying this trace.
+    #[must_use]
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor::new(self)
     }
 
     /// Iterates over only the indirect-branch events.

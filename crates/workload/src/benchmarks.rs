@@ -5,7 +5,7 @@ use std::fmt;
 use ibp_trace::Trace;
 
 use crate::mix::KindMix;
-use crate::program::ProgramConfig;
+use crate::program::{ProgramConfig, ProgramSource};
 
 /// One of the 17 benchmarks of the paper's Tables 1–2, as a calibrated
 /// synthetic workload.
@@ -418,6 +418,15 @@ impl Benchmark {
     #[must_use]
     pub fn trace_with_len(self, events: u64) -> Trace {
         self.config().build().generate_with_len(events)
+    }
+
+    /// A streaming source producing exactly `events` indirect branches,
+    /// event-for-event identical to
+    /// [`trace_with_len`](Benchmark::trace_with_len) but in chunk-bounded
+    /// memory.
+    #[must_use]
+    pub fn source(self, events: u64) -> ProgramSource {
+        self.config().build().source(events)
     }
 }
 

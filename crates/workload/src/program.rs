@@ -31,7 +31,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use ibp_trace::{Addr, BranchKind, Trace};
+use ibp_trace::io::TraceIoError;
+use ibp_trace::{chunk_events, Addr, BranchKind, EventSource, Trace, TraceChunk};
 
 use crate::mix::KindMix;
 use crate::zipf::Zipf;
@@ -460,65 +461,170 @@ impl ProgramModel {
     }
 
     /// Generates a trace with exactly `events` indirect-branch executions.
+    ///
+    /// This drains a [`ProgramSource`] into a materialised trace, so the
+    /// streamed and materialised paths are the same code by construction.
     #[must_use]
     pub fn generate_with_len(&self, events: u64) -> Trace {
         let cfg = &self.config;
+        // Capacity for the indirect branches plus exactly the conditional
+        // events that will materialise (the accumulator emits at most
+        // ceil(events * ratio) of them; zero-conditional configs reserve
+        // nothing extra).
+        let cond_ratio = cfg.cond_trace_cap.min(cfg.cond_per_indirect).max(0.0);
+        let capacity = (events as usize)
+            .saturating_add((events as f64 * cond_ratio).ceil() as usize)
+            .min(64 << 20);
+        let mut trace = Trace::with_capacity(cfg.name.clone(), capacity);
+        let mut state = GenState::new(self);
+        let mut chunk = TraceChunk::default();
+        loop {
+            let more = state.fill(self, events, &mut chunk, chunk_events());
+            trace.extend_chunk(&chunk);
+            if !more {
+                return trace;
+            }
+        }
+    }
+
+    /// A resumable [`EventSource`] producing exactly `events` indirect
+    /// branches, event-for-event identical to
+    /// [`generate_with_len`](ProgramModel::generate_with_len) regardless of
+    /// how consumers chunk it.
+    #[must_use]
+    pub fn source(&self, events: u64) -> ProgramSource {
+        ProgramSource {
+            state: GenState::new(self),
+            model: self.clone(),
+            events,
+        }
+    }
+}
+
+/// Sticky variant persistence (see [`GenState`] and the `noise` config).
+const VARIANT_PERSIST: f64 = 0.7;
+
+/// The generator's complete resumable state: both RNG streams, the
+/// fractional accumulators, and the position within the
+/// mode/melody/idiom/script hierarchy.
+///
+/// [`fill`](GenState::fill) is the single generation loop; it suspends
+/// whenever a chunk's indirect budget is reached and resumes exactly where
+/// it left off. Suspension points consume no randomness, so the emitted
+/// stream is independent of chunk boundaries.
+#[derive(Debug, Clone)]
+struct GenState {
+    rng: SmallRng,
+    cond_rng: SmallRng,
+    emitted: u64,
+    cond_acc: f64,
+    instr_acc: f64,
+    // Program position: which mode, how many melody repetitions remain,
+    // where in its melody, and where in the current idiom.
+    mode: usize,
+    reps_left: u64,
+    mel_pos: usize,
+    idiom: usize,
+    idiom_pos: usize,
+    // Sticky variant state: stationary fraction `noise`, persistence
+    // VARIANT_PERSIST.
+    variant: bool,
+    // Mid-burst suspension state: the activity being executed, the next
+    // script element, and the phase captured at burst start (the idiom
+    // advance at the burst's end uses the *entry* phase).
+    in_burst: bool,
+    activity: usize,
+    script_pos: usize,
+    burst_phase: u64,
+}
+
+impl GenState {
+    fn new(model: &ProgramModel) -> Self {
+        let cfg = &model.config;
         let mut rng = SmallRng::seed_from_u64(mix64(cfg.seed ^ 0xE7E9));
         // Conditional-branch randomness draws from its own stream so that
         // changes to the conditional policy can never perturb the indirect
         // target sequence (which the per-benchmark calibration pins down).
-        let mut cond_rng = SmallRng::seed_from_u64(mix64(cfg.seed ^ 0xC01D1));
-        let mut trace = Trace::with_capacity(
-            cfg.name.clone(),
-            (events as usize)
-                .saturating_mul(1 + cfg.cond_trace_cap.min(cfg.cond_per_indirect) as usize)
-                .min(64 << 20),
-        );
+        let cond_rng = SmallRng::seed_from_u64(mix64(cfg.seed ^ 0xC01D1));
+        let reps_left: u64 = rng.gen_range(cfg.mode_reps.0..=cfg.mode_reps.1);
+        let idiom = model.melody_idiom(0, 0, 0);
+        GenState {
+            rng,
+            cond_rng,
+            emitted: 0,
+            cond_acc: 0.0,
+            instr_acc: 0.0,
+            mode: 0,
+            reps_left,
+            mel_pos: 0,
+            idiom,
+            idiom_pos: 0,
+            variant: false,
+            in_burst: false,
+            activity: 0,
+            script_pos: 0,
+            burst_phase: 0,
+        }
+    }
 
-        let mut emitted = 0u64;
-        let mut cond_acc = 0.0f64;
-        let mut instr_acc = 0.0f64;
+    /// Appends up to `max_indirect` indirect branches (with their
+    /// conditional/instruction context) of a `total_events`-long trace into
+    /// `chunk`; returns whether more events remain.
+    fn fill(
+        &mut self,
+        model: &ProgramModel,
+        total_events: u64,
+        chunk: &mut TraceChunk,
+        max_indirect: u64,
+    ) -> bool {
+        let cfg = &model.config;
         let per_event_instr = cfg.instr_per_indirect - 1.0 - cfg.cond_per_indirect;
-
-        // Program state: which mode, how many melody repetitions remain,
-        // where in its melody, and where in the current idiom.
-        let mut mode = 0usize;
-        let mut reps_left: u64 = rng.gen_range(cfg.mode_reps.0..=cfg.mode_reps.1);
-        let mut mel_pos = 0usize;
-        let mut idiom = self.melody_idiom(mode, 0, 0);
-        let mut idiom_pos = 0usize;
-        // Sticky variant state: stationary fraction `noise`, persistence
-        // VARIANT_PERSIST.
-        const VARIANT_PERSIST: f64 = 0.7;
         let enter_rate = if cfg.noise >= 1.0 {
             1.0
         } else {
             (cfg.noise * (1.0 - VARIANT_PERSIST) / (1.0 - cfg.noise)).min(1.0)
         };
-        let mut variant = false;
-
-        'outer: loop {
-            let phase = match cfg.phase_events {
-                Some(n) if n > 0 => emitted / n,
-                _ => 0,
-            };
-
-            // One burst: the current activity's script.
-            let activity = usize::from(self.idioms[idiom][idiom_pos]);
-            variant = if variant {
-                rng.gen::<f64>() < VARIANT_PERSIST
-            } else {
-                cfg.noise > 0.0 && rng.gen::<f64>() < enter_rate
-            };
-            for &(site_idx, class, alt_class) in &self.scripts[activity] {
-                let class = if variant { alt_class } else { class };
-                if emitted >= events {
-                    break 'outer;
+        chunk.clear();
+        let mut produced = 0u64;
+        loop {
+            if self.emitted >= total_events {
+                return false;
+            }
+            if produced >= max_indirect {
+                return true;
+            }
+            if !self.in_burst {
+                // One burst: the current activity's script.
+                self.burst_phase = match cfg.phase_events {
+                    Some(n) if n > 0 => self.emitted / n,
+                    _ => 0,
+                };
+                self.activity = usize::from(model.idioms[self.idiom][self.idiom_pos]);
+                self.variant = if self.variant {
+                    self.rng.gen::<f64>() < VARIANT_PERSIST
+                } else {
+                    cfg.noise > 0.0 && self.rng.gen::<f64>() < enter_rate
+                };
+                self.script_pos = 0;
+                self.in_burst = true;
+            }
+            let script = &model.scripts[self.activity];
+            while self.script_pos < script.len() {
+                if self.emitted >= total_events {
+                    // Generation ends mid-burst, exactly as the historical
+                    // whole-trace loop broke out of its script; no further
+                    // randomness is consumed.
+                    return false;
                 }
+                if produced >= max_indirect {
+                    return true;
+                }
+                let (site_idx, class, alt_class) = script[self.script_pos];
+                let class = if self.variant { alt_class } else { class };
                 // Conditional-branch context before the indirect branch.
-                cond_acc += cfg.cond_per_indirect;
-                let due = cond_acc.floor();
-                cond_acc -= due;
+                self.cond_acc += cfg.cond_per_indirect;
+                let due = self.cond_acc.floor();
+                self.cond_acc -= due;
                 let due = due as u64;
                 let traced = due.min(cfg.cond_trace_cap as u64);
                 for j in 0..traced {
@@ -531,65 +637,109 @@ impl ProgramModel {
                     // §3.3 history-pollution experiment would degrade to
                     // total misprediction; were they fully
                     // activity-determined, pollution would *help*.)
-                    let h = stable_hash(&[cfg.seed, 0xCB7, activity as u64, j]);
+                    let h = stable_hash(&[cfg.seed, 0xCB7, self.activity as u64, j]);
                     let site = if unit(h) < 0.10 {
                         // Activity-specific conditional.
-                        (mix64(h) % self.cond_sites.len() as u64) as usize
+                        (mix64(h) % model.cond_sites.len() as u64) as usize
                     } else {
                         // Common-pool conditional (hot loop tests), with a
                         // slow drift that is uncorrelated with the activity:
                         // it dilutes polluted histories without identifying
                         // anything.
-                        (stable_hash(&[cfg.seed, 0x9C2, j, emitted / 7 % 3]) % 6) as usize
+                        (stable_hash(&[cfg.seed, 0x9C2, j, self.emitted / 7 % 3]) % 6) as usize
                     };
-                    let (pc, target, taken_p) = self.cond_sites[site];
+                    let (pc, target, taken_p) = model.cond_sites[site];
                     let usually = unit(mix64(h ^ 0x5A)) < taken_p;
-                    let flipped = cond_rng.gen::<f64>() < 0.05;
-                    trace.push_cond(pc, target, usually != flipped);
+                    let flipped = self.cond_rng.gen::<f64>() < 0.05;
+                    chunk.push_cond(pc, target, usually != flipped);
                 }
                 if due > traced {
-                    trace.record_cond_summary(due - traced);
+                    chunk.record_cond_summary(due - traced);
                 }
                 // Plain instructions.
-                instr_acc += per_event_instr;
-                let gap = instr_acc.floor();
-                instr_acc -= gap;
-                trace.record_instructions(gap as u64);
+                self.instr_acc += per_event_instr;
+                let gap = self.instr_acc.floor();
+                self.instr_acc -= gap;
+                chunk.record_instructions(gap as u64);
 
                 // The indirect branch itself.
-                let site = &self.sites[site_idx as usize];
+                let site = &model.sites[site_idx as usize];
                 let target = site.targets[usize::from(class) % site.targets.len()];
-                trace.push_indirect(site.pc, target, site.kind);
-                emitted += 1;
+                chunk.push_indirect(site.pc, target, site.kind);
+                self.emitted += 1;
+                produced += 1;
+                self.script_pos += 1;
             }
+            self.in_burst = false;
 
             // Advance program state by one burst.
-            idiom_pos += 1;
-            if idiom_pos >= self.idioms[idiom].len() {
+            self.idiom_pos += 1;
+            if self.idiom_pos >= model.idioms[self.idiom].len() {
                 // Idiom boundary: follow the melody, or rarely deviate.
-                idiom_pos = 0;
-                mel_pos += 1;
-                if mel_pos >= self.melody_lens[mode] {
+                self.idiom_pos = 0;
+                self.mel_pos += 1;
+                if self.mel_pos >= model.melody_lens[self.mode] {
                     // Melody complete.
-                    mel_pos = 0;
-                    reps_left -= 1;
-                    if reps_left == 0 {
+                    self.mel_pos = 0;
+                    self.reps_left -= 1;
+                    if self.reps_left == 0 {
                         // Mode switch — the data-dependent "call": control
                         // moves to a random next mode. Switching only at
                         // melody boundaries keeps the set of windows around
                         // a switch finite, so they recur and stay learnable.
-                        mode = rng.gen_range(0..cfg.modes);
-                        reps_left = rng.gen_range(cfg.mode_reps.0..=cfg.mode_reps.1);
+                        self.mode = self.rng.gen_range(0..cfg.modes);
+                        self.reps_left = self.rng.gen_range(cfg.mode_reps.0..=cfg.mode_reps.1);
                     }
                 }
-                idiom = if cfg.deviation > 0.0 && rng.gen::<f64>() < cfg.deviation {
-                    rng.gen_range(0..cfg.idioms)
+                self.idiom = if cfg.deviation > 0.0 && self.rng.gen::<f64>() < cfg.deviation {
+                    self.rng.gen_range(0..cfg.idioms)
                 } else {
-                    self.melody_idiom(mode, mel_pos, phase)
+                    model.melody_idiom(self.mode, self.mel_pos, self.burst_phase)
                 };
             }
         }
-        trace
+    }
+}
+
+/// A streaming trace generator: [`ProgramModel::source`].
+///
+/// Implements [`EventSource`]; draining it through any sequence of
+/// [`fill`](EventSource::fill) calls yields the same events as
+/// [`ProgramModel::generate_with_len`].
+#[derive(Debug, Clone)]
+pub struct ProgramSource {
+    model: ProgramModel,
+    events: u64,
+    state: GenState,
+}
+
+impl ProgramSource {
+    /// The model this source generates from.
+    #[must_use]
+    pub fn model(&self) -> &ProgramModel {
+        &self.model
+    }
+
+    /// Total indirect branches this source produces over its lifetime.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl EventSource for ProgramSource {
+    fn name(&self) -> &str {
+        &self.model.config.name
+    }
+
+    fn fill(&mut self, chunk: &mut TraceChunk, max_indirect: u64) -> Result<bool, TraceIoError> {
+        Ok(self
+            .state
+            .fill(&self.model, self.events, chunk, max_indirect))
+    }
+
+    fn remaining_indirect(&self) -> Option<u64> {
+        Some(self.events - self.state.emitted)
     }
 }
 

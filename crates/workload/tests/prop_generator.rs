@@ -1,5 +1,6 @@
 //! Property-based tests for the synthetic trace generator.
 
+
 use ibp_workload::{KindMix, ProgramConfig};
 use proptest::prelude::*;
 
@@ -93,6 +94,38 @@ proptest! {
             .collect();
         let short_all: Vec<_> = short.indirect().map(|b| (b.pc, b.target)).collect();
         prop_assert_eq!(long_prefix, short_all);
+    }
+
+    /// Chunk boundaries carry no meaning: filling the streamed source with
+    /// any `max_indirect` schedule — including the degenerate 1-event fill
+    /// and the off-by-one sizes around a chunk — concatenates to exactly
+    /// the materialized event sequence.
+    #[test]
+    fn chunk_boundaries_do_not_change_the_stream(
+        c in arbitrary_config(),
+        chunk in 2u64..96,
+    ) {
+        let mut c = c;
+        c.events = 600;
+        let model = c.build();
+        let expected = model.generate_with_len(c.events);
+        for max_indirect in [1, chunk - 1, chunk, chunk + 1] {
+            let mut source = model.source(c.events);
+            let mut streamed = ibp_trace::Trace::new(expected.name());
+            let mut buf = ibp_trace::TraceChunk::default();
+            loop {
+                let more = ibp_trace::EventSource::fill(&mut source, &mut buf, max_indirect)
+                    .expect("generator sources cannot fail");
+                prop_assert!(buf.indirect_count() <= max_indirect,
+                    "fill overshot: {} > {max_indirect}", buf.indirect_count());
+                streamed.extend_chunk(&buf);
+                if !more {
+                    break;
+                }
+            }
+            prop_assert_eq!(streamed.events(), expected.events(),
+                "stream diverges at fill size {}", max_indirect);
+        }
     }
 
     /// All emitted sites and targets are word-aligned and land in disjoint

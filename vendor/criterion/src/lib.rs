@@ -2,8 +2,11 @@
 //!
 //! The build environment has no registry access, so this workspace vendors
 //! a minimal wall-clock benchmark harness exposing the subset of the
-//! criterion 0.5 API its benches use. No statistics beyond min/mean/max and
-//! no HTML reports, but each run *is* compared against a saved baseline:
+//! criterion 0.5 API its benches use. No HTML reports and no statistics
+//! beyond min/mean/max over outlier-filtered samples (samples slower than
+//! median + 3·MAD are dropped before best/mean, so one GC pause or
+//! scheduler hiccup does not skew the numbers), but each run *is* compared
+//! against a saved baseline:
 //! per-bench best/mean go to `$IBP_RESULTS/.bench/baseline.json` (default
 //! `results/.bench/baseline.json`) and, when a previous baseline exists,
 //! every result line carries a best-time delta against it — so perf
@@ -111,11 +114,36 @@ fn test_mode() -> bool {
     std::env::args().any(|a| a == "--test")
 }
 
+/// One timed sample: per-iteration time, total elapsed, iterations.
+type Sample = (Duration, Duration, u64);
+
+/// Drops samples whose per-iteration time exceeds median + 3·MAD (median
+/// absolute deviation) — outliers only ever slow a sample down, so the
+/// rejection is one-sided. Returns how many were dropped. Needs at least
+/// three samples and a non-zero MAD to act (a zero MAD means the timings
+/// agree to the clock's resolution; rejecting on it would halve the set).
+fn reject_outliers(measured: &mut Vec<Sample>) -> usize {
+    if measured.len() < 3 {
+        return 0;
+    }
+    let mut per: Vec<Duration> = measured.iter().map(|m| m.0).collect();
+    per.sort_unstable();
+    let median = per[per.len() / 2];
+    let mut dev: Vec<Duration> = per.iter().map(|&p| p.abs_diff(median)).collect();
+    dev.sort_unstable();
+    let mad = dev[dev.len() / 2];
+    if mad.is_zero() {
+        return 0;
+    }
+    let cutoff = median.saturating_add(mad.saturating_mul(3));
+    let before = measured.len();
+    measured.retain(|m| m.0 <= cutoff);
+    before - measured.len()
+}
+
 fn run_samples<F: FnMut(&mut Bencher)>(label: &str, samples: usize, throughput: Option<Throughput>, mut f: F) {
     let samples = if test_mode() { 1 } else { samples.max(1) };
-    let mut best = Duration::MAX;
-    let mut total = Duration::ZERO;
-    let mut iters = 0u64;
+    let mut measured: Vec<Sample> = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut b = Bencher::default();
         f(&mut b);
@@ -124,9 +152,16 @@ fn run_samples<F: FnMut(&mut Bencher)>(label: &str, samples: usize, throughput: 
             return;
         }
         let per_iter = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX);
+        measured.push((per_iter, b.elapsed, b.iters));
+    }
+    let dropped = reject_outliers(&mut measured);
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for &(per_iter, elapsed, n) in &measured {
         best = best.min(per_iter);
-        total += b.elapsed;
-        iters += b.iters;
+        total += elapsed;
+        iters += n;
     }
     let mean = total / u32::try_from(iters.max(1)).unwrap_or(u32::MAX);
     let rate = throughput.map(|t| {
@@ -144,8 +179,14 @@ fn run_samples<F: FnMut(&mut Bencher)>(label: &str, samples: usize, throughput: 
     } else {
         baseline::record(label, best, mean)
     };
+    let outliers = if dropped > 0 {
+        format!(" ({dropped} outliers dropped)")
+    } else {
+        String::new()
+    };
     println!(
-        "{label}: best {best:?}, mean {mean:?} over {samples} samples{}{delta}",
+        "{label}: best {best:?}, mean {mean:?} over {} samples{outliers}{}{delta}",
+        measured.len(),
         rate.unwrap_or_default()
     );
 }
@@ -268,6 +309,33 @@ mod tests {
         b.iter(|| 1 + 1);
         b.iter_batched(|| 21, |x| x * 2, BatchSize::SmallInput);
         assert_eq!(b.iters, 2);
+    }
+
+    #[test]
+    fn outlier_rejection_drops_only_far_samples() {
+        let ms = Duration::from_millis;
+        // 9 tight samples around 10ms plus one 100ms straggler.
+        let mut measured: Vec<Sample> = [10, 11, 10, 12, 9, 10, 11, 10, 9, 100]
+            .iter()
+            .map(|&m| (ms(m), ms(m), 1))
+            .collect();
+        assert_eq!(reject_outliers(&mut measured), 1);
+        assert_eq!(measured.len(), 9);
+        assert!(measured.iter().all(|m| m.0 < ms(50)));
+        // A second pass on the tight cluster drops nothing.
+        assert_eq!(reject_outliers(&mut measured), 0);
+    }
+
+    #[test]
+    fn outlier_rejection_needs_spread_and_samples() {
+        let ms = Duration::from_millis;
+        // Identical samples: MAD is zero, nothing is dropped.
+        let mut flat: Vec<Sample> = (0..8).map(|_| (ms(5), ms(5), 1)).collect();
+        assert_eq!(reject_outliers(&mut flat), 0);
+        assert_eq!(flat.len(), 8);
+        // Two samples: too few to call either an outlier.
+        let mut two: Vec<Sample> = vec![(ms(1), ms(1), 1), (ms(60), ms(60), 1)];
+        assert_eq!(reject_outliers(&mut two), 0);
     }
 
     #[test]

@@ -55,13 +55,40 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
         let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
         let len = self.size.lo + runner.below(span) as usize;
         (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Prefix truncations first (aggressive to mild), never below the
+        // permitted minimum length.
+        let lo = self.size.lo;
+        if value.len() > lo {
+            let mut lens = vec![lo, lo + (value.len() - lo) / 2, value.len() - 1];
+            lens.dedup();
+            for len in lens {
+                out.push(value[..len].to_vec());
+            }
+        }
+        // Then per-element shrinks: each element's most aggressive
+        // candidate, one position at a time, length unchanged.
+        for (i, v) in value.iter().enumerate() {
+            if let Some(candidate) = self.element.shrink(v).into_iter().next() {
+                let mut shrunk = value.clone();
+                shrunk[i] = candidate;
+                out.push(shrunk);
+            }
+        }
+        out
     }
 }
 
@@ -79,6 +106,21 @@ mod tests {
             let l = vec(0u32..5, 0..=2usize).new_value(&mut r).len();
             assert!(l <= 2);
         }
+    }
+
+    #[test]
+    fn vec_shrink_truncates_then_shrinks_elements() {
+        let s = vec(0u32..=9, 1..=8usize);
+        let candidates = s.shrink(&vec![4, 5, 6]);
+        // Prefix truncations down to the minimum length, then one
+        // element-shrink per position.
+        assert!(candidates.contains(&vec![4]));
+        assert!(candidates.contains(&vec![4, 5]));
+        assert!(candidates.contains(&vec![0, 5, 6]));
+        assert!(candidates.contains(&vec![4, 0, 6]));
+        assert!(candidates.contains(&vec![4, 5, 0]));
+        // At the floor with all-minimal elements nothing is proposed.
+        assert!(s.shrink(&vec![0]).is_empty());
     }
 
     #[test]

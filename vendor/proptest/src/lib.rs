@@ -8,8 +8,12 @@
 //!
 //! Differences from upstream:
 //!
-//! * **No shrinking.** A failing case reports the assertion message and the
-//!   case number; inputs are not minimised.
+//! * **Greedy shrinking.** Upstream explores a lazily-built value tree; here
+//!   a failing case is minimised by greedy descent over
+//!   [`strategy::Strategy::shrink`] proposals (integers halve toward the
+//!   range start, vecs try prefix truncations then per-element shrinks,
+//!   tuples shrink component-wise) and the panic reports the minimal
+//!   failing input found within a bounded iteration budget.
 //! * Cases are generated from a deterministic per-test seed (derived from
 //!   the file and test names), so failures reproduce exactly.
 //! * String "regex" strategies support the character-class and repetition
@@ -51,14 +55,20 @@ macro_rules! proptest {
             $(#[$attr])*
             fn $name() {
                 let __config = $config;
-                $crate::test_runner::run(&__config, file!(), stringify!($name), |__runner| {
-                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __runner);)+
-                    let mut __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
-                        $body
-                        ::std::result::Result::Ok(())
-                    };
-                    __case()
-                });
+                let __strategy = ($($strat,)+);
+                $crate::test_runner::run_shrink(
+                    &__config,
+                    file!(),
+                    stringify!($name),
+                    &__strategy,
+                    |($($arg,)+)| {
+                        let mut __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        __case()
+                    },
+                );
             }
         )*
     };

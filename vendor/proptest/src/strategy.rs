@@ -4,14 +4,22 @@ use crate::test_runner::TestRunner;
 
 /// A recipe for generating values of one type.
 ///
-/// Unlike upstream there is no value tree / shrinking: a strategy simply
-/// produces a fresh value per case.
+/// Unlike upstream there is no value tree: a strategy produces a fresh
+/// value per case, and shrinking is a greedy descent over [`Strategy::shrink`]
+/// proposals rather than a lazily-explored tree.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Generates one value.
     fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Proposes smaller variants of a failing value, most aggressive
+    /// first; the runner keeps the first that still fails and asks again
+    /// (greedy descent). The default proposes nothing (no shrinking).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// A strategy producing `f(value)`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -55,6 +63,10 @@ impl<T> Strategy for Box<dyn Strategy<Value = T>> {
 
     fn new_value(&self, runner: &mut TestRunner) -> T {
         (**self).new_value(runner)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
     }
 }
 
@@ -110,6 +122,16 @@ impl<T> Strategy for Union<T> {
         }
         unreachable!("weighted pick out of range")
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // The producing arm is unknown, so pool every arm's proposals —
+        // any of them is a valid union value.
+        self.arms
+            .iter()
+            .flat_map(|(_, arm)| arm.shrink(value))
+            .take(16)
+            .collect()
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -121,6 +143,12 @@ macro_rules! int_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
                 ((self.start as u64).wrapping_add(runner.below(span))) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward_start(self.start as u64, *value as u64)
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -135,10 +163,34 @@ macro_rules! int_range_strategy {
                 }
                 ((start as u64).wrapping_add(runner.below(span))) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward_start(*self.start() as u64, *value as u64)
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
 }
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Shrink offsets for an integer at distance `value - start` above its
+/// range start (both in the wrapping u64 arithmetic generation uses): the
+/// start itself, the halfway point, and one step down — most aggressive
+/// first, deduplicated.
+fn shrink_toward_start(start: u64, value: u64) -> impl Iterator<Item = u64> {
+    let d = value.wrapping_sub(start);
+    let mut offsets = [0u64, d / 2, d.wrapping_sub(1)];
+    offsets.sort_unstable();
+    let mut prev = None;
+    offsets.into_iter().filter_map(move |off| {
+        if off >= d || prev == Some(off) {
+            return None;
+        }
+        prev = Some(off);
+        Some(start.wrapping_add(off))
+    })
+}
 
 macro_rules! float_range_strategy {
     ($($t:ty),*) => {$(
@@ -166,30 +218,45 @@ macro_rules! float_range_strategy {
 float_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
-            #[allow(non_snake_case)]
             fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.new_value(runner),)+)
+                ($(self.$idx.new_value(runner),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: shrink one position at a time (keeping
+                // the others fixed), in declaration order.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     };
 }
-tuple_strategy!(A);
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
-tuple_strategy!(A, B, C, D, E, F);
-tuple_strategy!(A, B, C, D, E, F, G);
-tuple_strategy!(A, B, C, D, E, F, G, H);
-tuple_strategy!(A, B, C, D, E, F, G, H, I);
-tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
-tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
-tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11);
 
 #[cfg(test)]
 mod tests {
@@ -230,6 +297,26 @@ mod tests {
             seen[s.new_value(&mut r) as usize] = true;
         }
         assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn int_shrink_halves_toward_range_start() {
+        let s = 3u32..=100;
+        assert_eq!(s.shrink(&100), vec![3, 51, 99]);
+        assert_eq!(s.shrink(&4), vec![3]);
+        assert_eq!(s.shrink(&3), Vec::<u32>::new());
+        let neg = -8i32..=8;
+        assert_eq!(neg.shrink(&8), vec![-8, 0, 7]);
+        assert_eq!(neg.shrink(&-8), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let s = (0u8..=10, 0u8..=10);
+        let mut seen = s.shrink(&(4, 2));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 2), (2, 2), (3, 2), (4, 0), (4, 1)]);
+        assert!(s.shrink(&(0, 0)).is_empty());
     }
 
     #[test]

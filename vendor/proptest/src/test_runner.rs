@@ -140,6 +140,78 @@ where
     }
 }
 
+/// Upper bound on property re-executions spent minimising one failure.
+const MAX_SHRINK_ITERS: u32 = 1024;
+
+/// Like [`run`], but draws each case's inputs from `strategy` so that a
+/// failing case can be greedily minimised (see [`crate::strategy::Strategy::shrink`])
+/// before it is reported.
+pub fn run_shrink<S, F>(config: &ProptestConfig, file: &str, name: &str, strategy: &S, f: F)
+where
+    S: crate::strategy::Strategy,
+    S::Value: Clone + core::fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut runner = TestRunner::deterministic(file, name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        let value = strategy.new_value(&mut runner);
+        match f(value.clone()) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest {name} ({file}): too many rejected cases \
+                     ({rejected} rejects for {accepted} accepted)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let (minimal, msg, steps) = shrink_failure(strategy, value, msg, &f);
+                panic!(
+                    "proptest {name} ({file}) failed at case {}/{}:\n{msg}\n\
+                     minimal failing input (after {steps} shrink steps): {minimal:?}",
+                    accepted + 1,
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Greedy descent: repeatedly take the first shrink candidate that still
+/// fails, until no candidate fails or the iteration budget runs out.
+/// Returns the minimised value, its failure message, and the number of
+/// accepted shrink steps.
+fn shrink_failure<S, F>(strategy: &S, mut value: S::Value, mut msg: String, f: &F) -> (S::Value, String, u32)
+where
+    S: crate::strategy::Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0u32;
+    let mut budget = MAX_SHRINK_ITERS;
+    'descend: while budget > 0 {
+        for candidate in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'descend;
+            }
+            budget -= 1;
+            // Rejected candidates (prop_assume!) do not count as passing:
+            // they are simply not usable as smaller witnesses.
+            if let Err(TestCaseError::Fail(m)) = f(candidate.clone()) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +241,55 @@ mod tests {
         );
         calls += calls_ref.get();
         assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn run_shrink_minimises_the_failing_input() {
+        // Property "a < 10 && b < 5" fails for large draws; greedy
+        // shrinking must walk it down to the boundary case.
+        let result = std::panic::catch_unwind(|| {
+            run_shrink(
+                &ProptestConfig::with_cases(64),
+                file!(),
+                "minimise",
+                &(0u32..=1000, 0u32..=1000),
+                |(a, b)| {
+                    if a >= 10 || b >= 5 {
+                        return Err(TestCaseError::fail(format!("({a}, {b}) out of box")));
+                    }
+                    Ok(())
+                },
+            );
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic message is a String");
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        // The minimal witness violates exactly one bound at its boundary.
+        assert!(
+            msg.contains("(10, 0)") || msg.contains("(0, 5)"),
+            "not minimised: {msg}"
+        );
+    }
+
+    #[test]
+    fn run_shrink_reports_unshrinkable_failures_verbatim() {
+        let result = std::panic::catch_unwind(|| {
+            run_shrink(
+                &ProptestConfig::with_cases(8),
+                file!(),
+                "unshrinkable",
+                &(0u32..=0,),
+                |(z,)| Err(TestCaseError::fail(format!("always fails at {z}"))),
+            );
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic message is a String");
+        assert!(msg.contains("after 0 shrink steps"), "{msg}");
+        assert!(msg.contains("(0,)"), "{msg}");
     }
 
     #[test]
