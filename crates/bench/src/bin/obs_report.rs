@@ -3,13 +3,15 @@
 //! (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
 //! ```text
-//! obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>]
+//! obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>] [--sharding]
 //! ```
 //!
 //! The summary covers where a run's time went: per-experiment wall time and
 //! cache effectiveness (from the root `experiment` spans), the slowest
 //! (config × benchmark) cells, per-worker busy/idle utilization, and the
-//! final metrics-registry snapshot.
+//! final metrics-registry snapshot. `--sharding` adds the chunk-parallel
+//! pipeline's per-shard occupancy and event skew, plus a quantification of
+//! how tail-heavy the cell queue was.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -22,6 +24,7 @@ struct Options {
     journal: PathBuf,
     chrome: Option<PathBuf>,
     top: usize,
+    sharding: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -29,8 +32,10 @@ fn parse_args() -> Result<Options, String> {
     let mut journal = None;
     let mut chrome = None;
     let mut top = 10usize;
+    let mut sharding = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--sharding" => sharding = true,
             "--chrome" => {
                 chrome = Some(PathBuf::from(
                     args.next().ok_or("--chrome needs a path".to_string())?,
@@ -53,6 +58,7 @@ fn parse_args() -> Result<Options, String> {
         journal: journal.ok_or("missing journal path".to_string())?,
         chrome,
         top,
+        sharding,
     })
 }
 
@@ -203,6 +209,113 @@ fn print_worker_utilization(records: &[Record]) {
     );
 }
 
+/// The `--sharding` section: how the chunk-parallel pipeline behaved
+/// (per-shard occupancy and event skew) and how tail-heavy the cell queue
+/// was — the condition under which the scheduler grants shard budgets.
+fn print_sharding(records: &[Record]) {
+    let pipelines = records
+        .iter()
+        .filter(|r| r.kind == Kind::Span && r.name == "shard_pipeline")
+        .count();
+    let schedules = records
+        .iter()
+        .filter(|r| r.kind == Kind::Event && r.name == "shard_schedule")
+        .count();
+    let shards: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.kind == Kind::Span && r.name == "shard")
+        .collect();
+    if shards.is_empty() {
+        println!(
+            "sharding: no shard spans recorded \
+             ({pipelines} pipeline runs, {schedules} schedule decisions)\n"
+        );
+    } else {
+        // Aggregate by shard index across all pipeline runs: skew between
+        // indices is routing skew, busy/idle is worker occupancy.
+        let mut per_shard: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
+        for s in &shards {
+            let e = per_shard
+                .entry(s.field_u64("shard").unwrap_or(0))
+                .or_default();
+            e.0 += 1;
+            e.1 += s.field_u64("events").unwrap_or(0);
+            e.2 += s.field_u64("busy_us").unwrap_or(0);
+            e.3 += s.field_u64("idle_us").unwrap_or(0);
+        }
+        println!(
+            "sharding ({pipelines} pipeline runs, {} shard spans, {schedules} schedule decisions):",
+            shards.len()
+        );
+        println!(
+            "  {:<6} {:>6} {:>12} {:>10} {:>10} {:>6}",
+            "shard", "spans", "events", "busy", "idle", "busy%"
+        );
+        let mut events_min = u64::MAX;
+        let mut events_max = 0u64;
+        let mut events_total = 0u64;
+        for (shard, (spans, events, busy, idle)) in &per_shard {
+            events_min = events_min.min(*events);
+            events_max = events_max.max(*events);
+            events_total += events;
+            let busy_pct = if busy + idle > 0 {
+                100.0 * *busy as f64 / (busy + idle) as f64
+            } else {
+                0.0
+            };
+            println!(
+                "  {:<6} {:>6} {:>12} {:>10} {:>10} {:>6.1}",
+                shard,
+                spans,
+                events,
+                fmt_us(*busy),
+                fmt_us(*idle),
+                busy_pct
+            );
+        }
+        let mean = events_total as f64 / per_shard.len() as f64;
+        let skew = if mean > 0.0 {
+            events_max as f64 / mean
+        } else {
+            0.0
+        };
+        println!(
+            "  event skew: min {events_min}, max {events_max}, mean {mean:.0} \
+             (max/mean {skew:.2})\n"
+        );
+    }
+
+    // Tail heaviness of the cell queue: when one cell dominates total cell
+    // time, extra cores idle unless the scheduler shards it.
+    let mut durs: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind == Kind::Span && r.name == "cell")
+        .map(|r| r.dur_us.unwrap_or(0))
+        .collect();
+    if durs.is_empty() {
+        println!("cell tail: no cell spans recorded\n");
+        return;
+    }
+    durs.sort_unstable();
+    let total: u64 = durs.iter().sum();
+    let max = *durs.last().expect("non-empty");
+    let mean = total as f64 / durs.len() as f64;
+    let p95 = durs[(durs.len() - 1) * 95 / 100];
+    let share = if total > 0 {
+        100.0 * max as f64 / total as f64
+    } else {
+        0.0
+    };
+    println!(
+        "cell tail ({} cells): mean {}, p95 {}, max {} — slowest cell is {share:.1}% \
+         of total cell time\n",
+        durs.len(),
+        fmt_us(mean as u64),
+        fmt_us(p95),
+        fmt_us(max)
+    );
+}
+
 fn print_metrics(records: &[Record]) {
     let Some(snap) = records.iter().rev().find(|r| r.kind == Kind::Metrics) else {
         println!("metrics: no snapshot in journal (run did not call flush)\n");
@@ -327,6 +440,9 @@ fn run(opts: &Options) -> Result<(), String> {
     print_experiments(&records);
     print_slowest_cells(&records, opts.top);
     print_worker_utilization(&records);
+    if opts.sharding {
+        print_sharding(&records);
+    }
     print_metrics(&records);
 
     if let Some(out) = &opts.chrome {
@@ -348,7 +464,9 @@ fn main() -> ExitCode {
             if !msg.is_empty() {
                 eprintln!("error: {msg}");
             }
-            eprintln!("usage: obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>]");
+            eprintln!(
+                "usage: obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>] [--sharding]"
+            );
             return ExitCode::from(2);
         }
     };

@@ -1,0 +1,115 @@
+//! Measures the sharded pipeline against the sequential fold on one
+//! experiment and records the comparison.
+//!
+//! Usage: `shard_speedup [experiment] [shards|auto]` (defaults: `fig17`,
+//! `auto`). The experiment runs twice in-process — once with sharding off,
+//! once with the requested policy — with the memo cache cleared before
+//! each pass so both do the full simulation work. The two table sets must
+//! be byte-identical (the run aborts otherwise); the wall-time comparison
+//! goes to stderr, `results/shard_speedup.csv`, `results/manifest.csv`
+//! (one row per pass) and, with `IBP_TRACE`, a `shard_speedup` journal
+//! event.
+//!
+//! The honest caveat: speedup is bounded by the cores actually available —
+//! on a single-core host both passes run the same work on one CPU and the
+//! ratio hovers around 1.0.
+
+use std::fs;
+use std::time::Instant;
+
+use ibp_obs as obs;
+use ibp_sim::engine;
+use ibp_sim::shard::{self, ShardPolicy};
+
+fn usage() -> ! {
+    eprintln!("usage: shard_speedup [experiment] [shards|auto]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let id = args.next().unwrap_or_else(|| "fig17".to_string());
+    let policy = match args.next().as_deref() {
+        None | Some("auto") => ShardPolicy::Auto,
+        Some(raw) => match raw.parse() {
+            Ok(n) if n > 0 => ShardPolicy::Fixed(n),
+            _ => usage(),
+        },
+    };
+    if args.next().is_some() {
+        usage();
+    }
+    let experiment = ibp_sim::experiments::by_id(&id)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+
+    eprintln!(
+        "== shard speedup: {} ({} cores available) ==",
+        experiment.title,
+        std::thread::available_parallelism().map_or(1, usize::from),
+    );
+    let suite = ibp_bench::full_suite();
+
+    let mut passes = Vec::new();
+    for (label, pass_policy) in [("sequential", ShardPolicy::Off), ("sharded", policy)] {
+        shard::override_policy(Some(pass_policy));
+        // Both passes must simulate from scratch — results cached by the
+        // first pass (or loaded from disk) would turn the second into a
+        // no-op and the comparison into noise.
+        engine::clear_memo_cache();
+        let t0 = Instant::now();
+        let (tables, metrics) = ibp_bench::run_instrumented(&experiment, &suite);
+        let wall = t0.elapsed();
+        eprintln!(
+            "{label}: {wall:.2?} ({} cells sharded)",
+            metrics.engine.sharded_cells
+        );
+        let csv: String = tables.iter().map(ibp_sim::report::Table::to_csv).collect();
+        passes.push((label, wall, metrics, csv));
+    }
+    shard::override_policy(None);
+
+    let (_, base_wall, _, base_csv) = &passes[0];
+    let (_, shard_wall, shard_metrics, shard_csv) = &passes[1];
+    assert_eq!(
+        base_csv, shard_csv,
+        "sharded results diverge from the sequential fold — routing bug"
+    );
+    eprintln!("result tables identical across policies");
+
+    let speedup = base_wall.as_secs_f64() / shard_wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "speedup: {speedup:.2}x ({:.2?} -> {:.2?})",
+        base_wall, shard_wall
+    );
+    obs::event!(
+        "shard_speedup",
+        experiment = experiment.id,
+        sequential_us = u64::try_from(base_wall.as_micros()).unwrap_or(u64::MAX),
+        sharded_us = u64::try_from(shard_wall.as_micros()).unwrap_or(u64::MAX),
+        sharded_cells = shard_metrics.engine.sharded_cells,
+        speedup = speedup
+    );
+
+    let metrics: Vec<_> = passes.iter().map(|(_, _, m, _)| m.clone()).collect();
+    match ibp_bench::write_manifest(&metrics) {
+        Ok(path) => eprintln!("runtime manifest written to {}", path.display()),
+        Err(e) => obs::warn!("could not write manifest.csv: {e}"),
+    }
+    let dir = ibp_bench::results_dir();
+    let csv = format!(
+        "experiment,policy,wall_seconds,sharded_cells,speedup\n\
+         {id},sequential,{:.3},0,1.00\n\
+         {id},sharded,{:.3},{},{speedup:.2}\n",
+        base_wall.as_secs_f64(),
+        shard_wall.as_secs_f64(),
+        shard_metrics.engine.sharded_cells,
+    );
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("shard_speedup.csv");
+        match fs::write(&path, csv) {
+            Ok(()) => eprintln!("speedup record written to {}", path.display()),
+            Err(e) => obs::warn!("could not write shard_speedup.csv: {e}"),
+        }
+    }
+    obs::flush();
+}

@@ -17,12 +17,20 @@
 //!   picks by trace length.
 //! * `IBP_CHUNK` — events per streaming chunk (default 8192).
 //! * `IBP_RESULTS` — output directory for CSVs (default `results`).
+//! * `IBP_SHARDS` — shard policy for the chunk-parallel pipeline: `auto`
+//!   (default) spends idle cores on tail-heavy queues, `0` disables
+//!   sharding, `n` forces `n` shard workers per run.
+//! * `IBP_CACHE` — `0` disables the persistent cross-process result cache
+//!   under `results/.cache/` (default enabled).
 //! * `IBP_LOG` — stderr log level: `0` quiet (default), `1` per-sweep and
 //!   per-experiment progress, `2` debug detail. Unparseable values warn
 //!   and read as `0`.
 //! * `IBP_TRACE` — JSONL run journal: `1` writes
 //!   `results/journal/<run-id>.jsonl`, any other value is used as the
 //!   journal path. Render it with the `obs_report` binary.
+//!
+//! The README's "Environment knobs" table is the authoritative list; keep
+//! the two in sync.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -88,6 +96,7 @@ pub fn run_experiment(id: &str) {
     let suite = full_suite();
     let (tables, _metrics) = run_instrumented(&experiment, &suite);
     emit(id, &tables);
+    engine::persist_cache();
 }
 
 /// Wall time and engine-counter deltas attributed to one experiment run.
@@ -177,18 +186,21 @@ pub fn write_manifest(metrics: &[ExperimentMetrics]) -> std::io::Result<PathBuf>
     let dir = results_dir();
     fs::create_dir_all(&dir)?;
     let mut csv = String::from(
-        "experiment,wall_seconds,cache_hits,cache_misses,hit_rate_pct,simulated_events,events_per_sec,peak_rss_mb\n",
+        "experiment,wall_seconds,cache_hits,cache_misses,persistent_hits,hit_rate_pct,\
+         simulated_events,events_per_sec,sharded_cells,peak_rss_mb\n",
     );
     for m in metrics {
         csv.push_str(&format!(
-            "{},{:.3},{},{},{:.1},{},{:.0},{:.1}\n",
+            "{},{:.3},{},{},{},{:.1},{},{:.0},{},{:.1}\n",
             m.id,
             m.wall.as_secs_f64(),
             m.engine.hits,
             m.engine.misses,
+            m.engine.persistent_hits,
             m.hit_rate_pct(),
             m.engine.simulated_events,
             m.events_per_sec(),
+            m.engine.sharded_cells,
             m.peak_rss.unwrap_or(0) as f64 / (1 << 20) as f64,
         ));
     }
@@ -203,12 +215,19 @@ pub fn print_summary(metrics: &[ExperimentMetrics], total_wall: Duration) {
         EngineStats {
             hits: acc.hits + m.engine.hits,
             misses: acc.misses + m.engine.misses,
+            persistent_hits: acc.persistent_hits + m.engine.persistent_hits,
             simulated_events: acc.simulated_events + m.engine.simulated_events,
+            sharded_cells: acc.sharded_cells + m.engine.sharded_cells,
         }
     });
     let lookups = total.hits + total.misses;
     let hit_pct = if lookups > 0 {
         100.0 * total.hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    let persistent_pct = if lookups > 0 {
+        100.0 * total.persistent_hits as f64 / lookups as f64
     } else {
         0.0
     };
@@ -230,4 +249,13 @@ pub fn print_summary(metrics: &[ExperimentMetrics], total_wall: Duration) {
         total.misses,
         total.simulated_events,
     );
+    // One greppable line each for the cross-process cache and the sharded
+    // pipeline (CI gates on the former).
+    eprintln!(
+        "persistent-cache hit rate: {persistent_pct:.1}% ({} of {lookups} lookups)",
+        total.persistent_hits,
+    );
+    if total.sharded_cells > 0 {
+        eprintln!("sharded cells: {}", total.sharded_cells);
+    }
 }

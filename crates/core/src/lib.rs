@@ -63,7 +63,7 @@ pub mod table;
 mod two_level;
 
 pub use btb::Btb;
-pub use config::{Associativity, ConfigError, PredictorConfig, PredictorKind};
+pub use config::{Associativity, ConfigError, PredictorConfig, PredictorKind, ShardRouting};
 pub use counter::SaturatingCounter;
 pub use history::{Histories, HistoryElement, HistoryRegister, HistorySharing, MAX_PATH};
 pub use hybrid::HybridPredictor;

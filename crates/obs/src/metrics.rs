@@ -15,6 +15,70 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Tracks one worker's busy/idle split over its lifetime.
+///
+/// Start the clock when the worker spawns, wrap each unit of real work in
+/// [`busy`](WorkClock::busy) (or accumulate with
+/// [`add_busy`](WorkClock::add_busy)); everything else — queue waits,
+/// channel blocking — counts as idle. Both `ibp_sim`'s `parallel_map`
+/// workers and its shard workers report through one of these, so occupancy
+/// is measured identically across the two pools.
+#[derive(Debug)]
+pub struct WorkClock {
+    spawned: Instant,
+    busy: Duration,
+}
+
+impl WorkClock {
+    /// Starts the clock (the worker's spawn instant).
+    #[must_use]
+    pub fn start() -> Self {
+        WorkClock {
+            spawned: Instant::now(),
+            busy: Duration::ZERO,
+        }
+    }
+
+    /// Runs `f`, attributing its duration to busy time.
+    pub fn busy<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        self.busy += t0.elapsed();
+        out
+    }
+
+    /// Adds an externally measured busy duration.
+    pub fn add_busy(&mut self, d: Duration) {
+        self.busy += d;
+    }
+
+    /// Busy time so far, in microseconds.
+    #[must_use]
+    pub fn busy_us(&self) -> u64 {
+        u64::try_from(self.busy.as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Idle time so far (lifetime minus busy), in microseconds.
+    #[must_use]
+    pub fn idle_us(&self) -> u64 {
+        let total = self.spawned.elapsed().saturating_sub(self.busy);
+        u64::try_from(total.as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Busy time as a percentage of lifetime, capped at 100. A clock with
+    /// no measurable lifetime reads 100 (it never waited).
+    #[must_use]
+    pub fn util_pct(&self) -> u64 {
+        let total = self.spawned.elapsed();
+        if total.is_zero() {
+            100
+        } else {
+            ((100.0 * self.busy.as_secs_f64() / total.as_secs_f64()).round() as u64).min(100)
+        }
+    }
+}
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -303,6 +367,21 @@ mod tests {
     fn kind_mismatch_panics() {
         let _ = counter("test.metrics.mismatch");
         let _ = gauge("test.metrics.mismatch");
+    }
+
+    #[test]
+    fn work_clock_attributes_busy_time() {
+        let mut clock = WorkClock::start();
+        assert_eq!(clock.busy_us(), 0);
+        let out = clock.busy(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            7
+        });
+        assert_eq!(out, 7);
+        assert!(clock.busy_us() >= 1_000, "busy = {}us", clock.busy_us());
+        clock.add_busy(Duration::from_millis(1));
+        assert!(clock.busy_us() >= 2_000);
+        assert!(clock.util_pct() <= 100);
     }
 
     #[test]

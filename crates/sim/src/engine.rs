@@ -19,10 +19,20 @@
 //!   are pure functions of `(benchmark, events)`, so a repeated pair is
 //!   guaranteed to reproduce the same [`RunStats`] and is never simulated
 //!   twice, within or across experiments;
+//! * the memo cache is seeded from the **persistent result cache**
+//!   (`results/.cache/`, see [`crate::cache`]) on first use, and
+//!   measurement binaries publish it back via [`persist_cache`] — so the
+//!   guarantee extends across processes (`IBP_CACHE=0` opts out);
+//! * when the work queue is tail-heavy, cells whose configuration is
+//!   site-partitionable ([`PredictorConfig::shardable`]) run through the
+//!   chunk-parallel sharded pipeline ([`crate::shard`]) instead of a
+//!   sequential fold — same `RunStats`, more cores (`IBP_SHARDS`
+//!   controls the policy);
 //! * global hit/miss/event counters ([`stats`]) let callers report cache
 //!   effectiveness and simulation throughput — they live in the
 //!   [`ibp_obs::metrics`] registry (`engine.cache.hits`,
-//!   `engine.cache.misses`, `engine.simulated_events`), so a journal
+//!   `engine.cache.misses`, `engine.cache.persistent_hits`,
+//!   `engine.simulated_events`, `engine.sharded_cells`), so a journal
 //!   snapshot carries them too;
 //! * with tracing on (`IBP_TRACE`), every simulated cell emits a `cell`
 //!   span (config, benchmark, queue wait vs. run time) and every memoized
@@ -30,27 +40,41 @@
 //!
 //! Set `IBP_LOG=1` for a per-sweep progress line on stderr.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use ibp_core::{Predictor, PredictorConfig};
+use ibp_core::{Predictor, PredictorConfig, ShardRouting};
 use ibp_obs as obs;
 use ibp_obs::metrics::Counter;
 use ibp_workload::Benchmark;
 
+use crate::cache::CacheKey;
 use crate::parallel::parallel_map;
 use crate::run::{simulate_source_multi, simulate_warm, RunStats};
+use crate::shard;
 use crate::suite::{Suite, SuiteResult};
-
-/// Full identity of one memoized run. The trace is a pure function of
-/// `(benchmark, events)`, and the predictor a pure function of the config
-/// key, so this tuple determines the `RunStats` exactly.
-type CacheKey = (String, Benchmark, u64, u64);
 
 fn cache() -> &'static Mutex<HashMap<CacheKey, RunStats>> {
     static CACHE: OnceLock<Mutex<HashMap<CacheKey, RunStats>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    CACHE.get_or_init(|| {
+        let loaded = crate::cache::load();
+        if !loaded.is_empty() {
+            obs::info!("[engine] persistent cache: {} entries loaded", loaded.len());
+            persistent_keys()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .extend(loaded.keys().cloned());
+        }
+        Mutex::new(loaded)
+    })
+}
+
+/// Keys that entered the memo cache from disk rather than live simulation
+/// — hits on these count as persistent (cross-process) hits.
+fn persistent_keys() -> &'static Mutex<HashSet<CacheKey>> {
+    static SET: OnceLock<Mutex<HashSet<CacheKey>>> = OnceLock::new();
+    SET.get_or_init(|| Mutex::new(HashSet::new()))
 }
 
 fn hits() -> &'static Arc<Counter> {
@@ -63,9 +87,32 @@ fn misses() -> &'static Arc<Counter> {
     C.get_or_init(|| obs::metrics::counter("engine.cache.misses"))
 }
 
+fn persistent_hits() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("engine.cache.persistent_hits"))
+}
+
 fn simulated_events() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| obs::metrics::counter("engine.simulated_events"))
+}
+
+fn sharded_cells() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("engine.sharded_cells"))
+}
+
+/// Counts a memo-cache hit, attributing it to the persistent cache when
+/// the key was seeded from disk.
+fn count_hit(key: &CacheKey) {
+    hits().incr();
+    if persistent_keys()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .contains(key)
+    {
+        persistent_hits().incr();
+    }
 }
 
 /// A snapshot of the process-wide engine counters.
@@ -75,9 +122,16 @@ pub struct EngineStats {
     pub hits: u64,
     /// Lookups that had to be simulated.
     pub misses: u64,
+    /// Of the hits, how many were served from results loaded off disk
+    /// (the persistent cross-process cache) rather than computed earlier
+    /// in this process.
+    pub persistent_hits: u64,
     /// Indirect-branch events processed by live simulation (warmup
     /// included); cache hits contribute nothing.
     pub simulated_events: u64,
+    /// Simulated cells that ran through the sharded parallel pipeline
+    /// instead of a sequential fold.
+    pub sharded_cells: u64,
 }
 
 impl EngineStats {
@@ -87,7 +141,9 @@ impl EngineStats {
         EngineStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            persistent_hits: self.persistent_hits - earlier.persistent_hits,
             simulated_events: self.simulated_events - earlier.simulated_events,
+            sharded_cells: self.sharded_cells - earlier.sharded_cells,
         }
     }
 }
@@ -99,12 +155,44 @@ pub fn stats() -> EngineStats {
     EngineStats {
         hits: hits().get(),
         misses: misses().get(),
+        persistent_hits: persistent_hits().get(),
         simulated_events: simulated_events().get(),
+        sharded_cells: sharded_cells().get(),
     }
+}
+
+/// Publishes the process's memo cache to the persistent result cache on
+/// disk (merging with concurrent publishers; no-op under `IBP_CACHE=0`).
+/// Measurement binaries call this once before exiting.
+pub fn persist_cache() {
+    let entries: Vec<(CacheKey, RunStats)> = cache()
+        .lock()
+        .expect("engine cache poisoned")
+        .iter()
+        .map(|(k, &v)| (k.clone(), v))
+        .collect();
+    match crate::cache::save(&entries) {
+        Ok(0) => {}
+        Ok(n) => obs::info!("[engine] persistent cache: {n} entries saved"),
+        Err(e) => eprintln!("warning: could not persist the result cache: {e}"),
+    }
+}
+
+/// Empties the in-process memo cache (and its record of disk-loaded
+/// keys). For measurement harnesses that need to re-simulate work this
+/// process already saw — e.g. timing sharded against sequential folds —
+/// never needed for correctness.
+pub fn clear_memo_cache() {
+    cache().lock().expect("engine cache poisoned").clear();
+    persistent_keys()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
 }
 
 struct Job<'a> {
     key: String,
+    routing: Option<ShardRouting>,
     make: Box<dyn Fn() -> Box<dyn Predictor> + Sync + 'a>,
 }
 
@@ -143,8 +231,10 @@ impl<'a> Sweep<'a> {
     /// [`PredictorConfig::cache_key`].
     pub fn config(&mut self, cfg: PredictorConfig) -> &mut Self {
         let key = cfg.cache_key();
+        let routing = cfg.shardable();
         self.jobs.push(Job {
             key,
+            routing,
             make: Box::new(move || cfg.build()),
         });
         self
@@ -162,6 +252,9 @@ impl<'a> Sweep<'a> {
     {
         self.jobs.push(Job {
             key: key.into(),
+            // Custom predictors carry no config to analyse, so they never
+            // shard — correctness first.
+            routing: None,
             make: Box::new(make),
         });
         self
@@ -204,7 +297,7 @@ impl<'a> Sweep<'a> {
                     let full_key = (job.key.clone(), b, events, self.warmup);
                     if let Some(&cached) = cache.get(&full_key) {
                         results[j][bi] = Some(cached);
-                        hits().incr();
+                        count_hit(&full_key);
                         obs::event!("cell", config = job.key.as_str(), benchmark = b.name(), outcome = "hit");
                     } else if claimed.insert((job.key.as_str(), b), ()).is_none() {
                         units.push((j, bi));
@@ -221,6 +314,10 @@ impl<'a> Sweep<'a> {
         let simulated: Vec<RunStats> = if self.suite.streamed() {
             self.run_units_streamed(&units, &benchmarks, t0)
         } else {
+            let budget = shard::shard_budget(units.len());
+            if budget > 1 {
+                obs::event!("shard_schedule", mode = "materialized", tasks = units.len(), budget = budget);
+            }
             parallel_map(&units, |&(j, bi)| {
                 let b = benchmarks[bi];
                 // Queue wait: time from sweep start until a worker picked
@@ -232,8 +329,24 @@ impl<'a> Sweep<'a> {
                 cell.note("outcome", "miss");
                 cell.note("wait_us", wait_us);
                 let trace = self.suite.trace(b);
-                let mut p = (self.jobs[j].make)();
-                let stats = simulate_warm(trace, p.as_mut(), self.warmup);
+                let stats = match self.jobs[j].routing.filter(|_| budget > 1) {
+                    Some(routing) => {
+                        cell.note("shards", budget);
+                        sharded_cells().incr();
+                        shard::simulate_source_sharded(
+                            &mut trace.cursor(),
+                            self.jobs[j].make.as_ref(),
+                            routing,
+                            budget,
+                            self.warmup,
+                        )
+                        .expect("in-memory source cannot fail")
+                    }
+                    None => {
+                        let mut p = (self.jobs[j].make)();
+                        simulate_warm(trace, p.as_mut(), self.warmup)
+                    }
+                };
                 cell.note("events", trace.indirect_count());
                 simulated_events().add(trace.indirect_count());
                 stats
@@ -261,7 +374,7 @@ impl<'a> Sweep<'a> {
                                 .get(&full_key)
                                 .expect("duplicate-key slot filled by its representative"),
                         );
-                        hits().incr();
+                        count_hit(&full_key);
                         obs::event!("cell", config = job.key.as_str(), benchmark = b.name(), outcome = "hit");
                     }
                 }
@@ -304,6 +417,13 @@ impl<'a> Sweep<'a> {
     /// ([`simulate_source_multi`]), so a sweep of N configurations costs
     /// one trace generation per benchmark instead of N. Results come back
     /// in `units` order.
+    ///
+    /// When the shard budget grants extra workers (tail-heavy queue, or a
+    /// forced `IBP_SHARDS=n`), each benchmark group is split into that
+    /// many contiguous sub-groups — independent generator passes over the
+    /// same pure source, so per-predictor results are unchanged — and
+    /// sub-groups that come down to a single site-partitionable
+    /// configuration run through the sharded pipeline.
     fn run_units_streamed(
         &self,
         units: &[(usize, usize)],
@@ -317,6 +437,23 @@ impl<'a> Sweep<'a> {
                 None => groups.push((bi, vec![u])),
             }
         }
+        let budget = shard::shard_budget(groups.len());
+        if budget > 1 {
+            obs::event!("shard_schedule", mode = "streamed", tasks = groups.len(), budget = budget);
+            let mut split: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (bi, members) in groups {
+                let pieces = budget.min(members.len());
+                let base = members.len() / pieces;
+                let extra = members.len() % pieces;
+                let mut start = 0;
+                for k in 0..pieces {
+                    let len = base + usize::from(k < extra);
+                    split.push((bi, members[start..start + len].to_vec()));
+                    start += len;
+                }
+            }
+            groups = split;
+        }
         let per_group: Vec<Vec<RunStats>> = parallel_map(&groups, |(bi, members)| {
             let b = benchmarks[*bi];
             let wait_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -325,20 +462,34 @@ impl<'a> Sweep<'a> {
             cell.note("outcome", "miss");
             cell.note("configs", members.len());
             cell.note("wait_us", wait_us);
+            let mut source = self.suite.source(b);
+            // Event accounting stays per-unit even though a pass is
+            // shared: each cell still scores one trace length of events.
+            simulated_events().add(self.suite.events() * members.len() as u64);
+            cell.note("events", self.suite.events());
+            if budget > 1 && members.len() == 1 {
+                let job = &self.jobs[units[members[0]].0];
+                if let Some(routing) = job.routing {
+                    cell.note("shards", budget);
+                    sharded_cells().incr();
+                    return vec![shard::simulate_source_sharded(
+                        &mut *source,
+                        job.make.as_ref(),
+                        routing,
+                        budget,
+                        self.warmup,
+                    )
+                    .expect("suite sources cannot fail")];
+                }
+            }
             let mut predictors: Vec<Box<dyn Predictor>> = members
                 .iter()
                 .map(|&u| (self.jobs[units[u].0].make)())
                 .collect();
             let mut refs: Vec<&mut (dyn Predictor + 'static)> =
                 predictors.iter_mut().map(|p| &mut **p).collect();
-            let mut source = self.suite.source(b);
-            let stats = simulate_source_multi(&mut *source, &mut refs, self.warmup)
-                .expect("suite sources cannot fail");
-            cell.note("events", self.suite.events());
-            // Event accounting stays per-unit even though the pass is
-            // shared: each cell still scores one trace length of events.
-            simulated_events().add(self.suite.events() * members.len() as u64);
-            stats
+            simulate_source_multi(&mut *source, &mut refs, self.warmup)
+                .expect("suite sources cannot fail")
         });
         let mut out: Vec<Option<RunStats>> = vec![None; units.len()];
         for ((_, members), stats) in groups.iter().zip(per_group) {

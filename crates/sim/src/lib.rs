@@ -11,7 +11,11 @@
 //!   paper's group averages (`AVG`, `AVG-OO`, …, Table 3 semantics);
 //! * [`engine`] — the memoizing sweep engine: flattens (config ×
 //!   benchmark) grids into one parallel work queue and never simulates the
-//!   same pair twice across experiments;
+//!   same pair twice across experiments — or across *processes*, via the
+//!   persistent result cache under `results/.cache/`;
+//! * [`shard`] — the chunk-parallel sharded pipeline: site-partitionable
+//!   configurations ([`ibp_core::PredictorConfig::shardable`]) fold one
+//!   run across several workers with byte-identical results;
 //! * [`report`] — plain-text and CSV rendering of result tables;
 //! * [`experiments`] — one runner per figure/table of the paper (the
 //!   `ibp-bench` binaries are thin wrappers over these).
@@ -34,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod cache;
 pub mod engine;
 pub mod experiments;
 mod parallel;
 pub mod report;
 mod run;
+pub mod shard;
 mod suite;
 
 pub use parallel::parallel_map;

@@ -2,10 +2,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
 
 use ibp_obs as obs;
-use ibp_obs::metrics::{Counter, Histogram};
+use ibp_obs::metrics::{Counter, Histogram, WorkClock};
 
 fn busy_us_counter() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
@@ -29,28 +28,17 @@ fn util_histogram() -> &'static Arc<Histogram> {
     })
 }
 
-fn micros(d: Duration) -> u64 {
-    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
-}
-
 /// Records one worker's busy/idle split into the metrics registry and an
 /// open `worker` span (fields only materialise when tracing is on).
-fn observe_worker(span: &mut obs::Span, spawned: Instant, busy: Duration, items: usize) {
-    let total = spawned.elapsed();
-    let idle = total.saturating_sub(busy);
-    let util_pct = if total.is_zero() {
-        100
-    } else {
-        ((100.0 * busy.as_secs_f64() / total.as_secs_f64()).round() as u64).min(100)
-    };
-    busy_us_counter().add(micros(busy));
-    idle_us_counter().add(micros(idle));
+fn observe_worker(span: &mut obs::Span, clock: &WorkClock, items: usize) {
+    busy_us_counter().add(clock.busy_us());
+    idle_us_counter().add(clock.idle_us());
     items_counter().add(items as u64);
-    util_histogram().record(util_pct);
+    util_histogram().record(clock.util_pct());
     span.note("items", items);
-    span.note("busy_us", micros(busy));
-    span.note("idle_us", micros(idle));
-    span.note("util_pct", util_pct);
+    span.note("busy_us", clock.busy_us());
+    span.note("idle_us", clock.idle_us());
+    span.note("util_pct", clock.util_pct());
 }
 
 /// Applies `f` to every item, spreading work over the available cores, and
@@ -86,9 +74,9 @@ where
     obs::metrics::gauge("parallel.queue_len").set(n as i64);
     if threads <= 1 {
         let mut span = obs::span!("worker", threads = 1usize);
-        let spawned = Instant::now();
-        let out: Vec<R> = items.iter().map(&f).collect();
-        observe_worker(&mut span, spawned, spawned.elapsed(), n);
+        let mut clock = WorkClock::start();
+        let out: Vec<R> = clock.busy(|| items.iter().map(&f).collect());
+        observe_worker(&mut span, &clock, n);
         return out;
     }
 
@@ -101,19 +89,17 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     let mut span = obs::span("worker");
-                    let spawned = Instant::now();
-                    let mut busy = Duration::ZERO;
+                    let mut clock = WorkClock::start();
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        let t = Instant::now();
-                        local.push((i, f(&items[i])));
-                        busy += t.elapsed();
+                        let r = clock.busy(|| f(&items[i]));
+                        local.push((i, r));
                     }
-                    observe_worker(&mut span, spawned, busy, local.len());
+                    observe_worker(&mut span, &clock, local.len());
                     local
                 })
             })

@@ -1,0 +1,526 @@
+//! The chunk-parallel sharded simulation pipeline.
+//!
+//! A sequential fold ([`simulate_source`]) walks one trace into one
+//! predictor. For configurations whose state partitions disjointly by
+//! branch site ([`PredictorConfig::shardable`]), the same run can be split
+//! across workers without changing a single predicted target:
+//!
+//! * a **router** (the calling thread) pulls [`TraceChunk`]s from the
+//!   source, partitions each by site region
+//!   ([`TraceChunk::partition_by_site`]) and pushes the per-shard batches
+//!   onto bounded SPSC queues — backpressure caps memory at
+//!   `shards × capacity` chunks;
+//! * each **shard worker** owns a full predictor instance but, by the
+//!   routing invariant, only ever touches the state partition of its own
+//!   site regions; it folds its batches in order with exactly the
+//!   sequential scoring rules;
+//! * the **merge** sums per-shard [`RunStats`]. Both fields are event
+//!   counts, so the merged result is identical — not just statistically
+//!   close — to the sequential fold's.
+//!
+//! Warmup is a global prefix of the event stream; since routing preserves
+//! per-shard order, it maps onto a per-shard prefix that the router
+//! attaches to each batch.
+//!
+//! How many shards a run gets is a scheduling decision
+//! ([`shard_budget`]): `IBP_SHARDS=0` disables the pipeline, `IBP_SHARDS=n`
+//! forces `n` workers regardless of core count (the equivalence tests rely
+//! on that), and `auto` (the default) spends idle cores on intra-run
+//! shards only when the work queue is tail-heavy — fewer cells left than
+//! threads to run them, the regime the journal's per-cell queue-wait data
+//! identified as the wall-time tail.
+//!
+//! With tracing on (`IBP_TRACE`), every sharded run emits a
+//! `shard_pipeline` span and one `shard` span per worker (events folded,
+//! busy/idle split); the registry tracks per-shard occupancy under
+//! `shard.*`.
+//!
+//! [`PredictorConfig::shardable`]: ibp_core::PredictorConfig::shardable
+//! [`simulate_source`]: crate::simulate_source
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use ibp_core::{Predictor, ShardRouting};
+use ibp_obs as obs;
+use ibp_obs::metrics::{Counter, Histogram, WorkClock};
+use ibp_trace::io::TraceIoError;
+use ibp_trace::{chunk_events, EventSource, TraceChunk, TraceEvent};
+
+use crate::run::{simulate_source, RunStats};
+
+/// How many shard workers a run may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Never shard (`IBP_SHARDS=0`): every run folds sequentially.
+    Off,
+    /// Shard when the scheduler finds idle capacity (`IBP_SHARDS=auto`,
+    /// the default).
+    Auto,
+    /// Always use exactly this many shard workers for shardable runs
+    /// (`IBP_SHARDS=n`), regardless of core count.
+    Fixed(usize),
+}
+
+fn env_policy() -> ShardPolicy {
+    static POLICY: OnceLock<ShardPolicy> = OnceLock::new();
+    *POLICY.get_or_init(|| match std::env::var("IBP_SHARDS") {
+        Ok(raw) => match raw.as_str() {
+            "auto" => ShardPolicy::Auto,
+            _ => match raw.parse::<usize>() {
+                Ok(0) => ShardPolicy::Off,
+                Ok(n) => ShardPolicy::Fixed(n),
+                Err(_) => {
+                    eprintln!(
+                        "warning: ignoring invalid IBP_SHARDS={raw:?} \
+                         (expected a shard count, \"auto\" or 0); using auto"
+                    );
+                    ShardPolicy::Auto
+                }
+            },
+        },
+        Err(_) => ShardPolicy::Auto,
+    })
+}
+
+fn override_slot() -> &'static Mutex<Option<ShardPolicy>> {
+    static SLOT: Mutex<Option<ShardPolicy>> = Mutex::new(None);
+    &SLOT
+}
+
+/// Replaces the `IBP_SHARDS` policy for this process (`None` restores the
+/// environment's). For tests and measurement binaries that compare
+/// policies within one process — the environment variable is read once.
+pub fn override_policy(policy: Option<ShardPolicy>) {
+    *override_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = policy;
+}
+
+/// The active shard policy: the process-wide override if one is set
+/// ([`override_policy`]), else `IBP_SHARDS` parsed once with
+/// warn-and-default (like `IBP_EVENTS`).
+#[must_use]
+pub fn shard_policy() -> ShardPolicy {
+    override_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(env_policy)
+}
+
+fn threads_available() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// How many shard workers each of `tasks` queued cells should get.
+///
+/// `Fixed(n)` always grants `n`. `Auto` grants extra workers only when the
+/// queue is tail-heavy — fewer tasks than threads, so cores would
+/// otherwise idle while the stragglers finish — and caps the grant at 8
+/// (diminishing returns: the router becomes the bottleneck). `Off` and a
+/// saturated queue grant 1 (sequential).
+#[must_use]
+pub fn shard_budget(tasks: usize) -> usize {
+    let budget = match shard_policy() {
+        ShardPolicy::Off => 1,
+        ShardPolicy::Fixed(n) => n.max(1),
+        ShardPolicy::Auto => {
+            let threads = threads_available();
+            if tasks == 0 || tasks >= threads {
+                1
+            } else {
+                (threads / tasks).clamp(1, 8)
+            }
+        }
+    };
+    if budget > 1 {
+        obs::debug!("[shard] budget: {tasks} tasks -> {budget} shards each");
+    }
+    budget
+}
+
+fn runs_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("shard.runs"))
+}
+
+fn events_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("shard.events"))
+}
+
+fn busy_us_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("shard.busy_us"))
+}
+
+fn idle_us_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("shard.idle_us"))
+}
+
+fn occupancy_histogram() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::metrics::histogram("shard.occupancy_pct", &[10, 25, 50, 75, 90, 95, 99, 100])
+    })
+}
+
+/// One routed unit of work: a per-shard slice of a source chunk plus how
+/// many of its leading indirect events fall inside the global warmup
+/// window.
+struct Batch {
+    chunk: TraceChunk,
+    warmup: u64,
+}
+
+/// Batches the router may buffer per shard before blocking. Bounds memory
+/// and keeps the router from racing arbitrarily far ahead of a slow shard.
+const QUEUE_CAPACITY: usize = 4;
+
+/// A bounded single-producer single-consumer batch queue (one per shard;
+/// the router produces, the shard worker consumes).
+struct SpscQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    space: Condvar,
+}
+
+struct QueueState {
+    batches: VecDeque<Batch>,
+    closed: bool,
+}
+
+impl SpscQueue {
+    fn new() -> Self {
+        SpscQueue {
+            state: Mutex::new(QueueState {
+                batches: VecDeque::with_capacity(QUEUE_CAPACITY),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    /// Blocks while the queue is full. Pushing after `close` drops the
+    /// batch (the consumer is gone; only the error path does this).
+    fn push(&self, batch: Batch) {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        while state.batches.len() >= QUEUE_CAPACITY && !state.closed {
+            state = self.space.wait(state).expect("shard queue poisoned");
+        }
+        if !state.closed {
+            state.batches.push_back(batch);
+            self.ready.notify_one();
+        }
+    }
+
+    /// Blocks until a batch arrives; `None` once the queue is closed and
+    /// drained.
+    fn pop(&self) -> Option<Batch> {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        loop {
+            if let Some(batch) = state.batches.pop_front() {
+                self.space.notify_one();
+                return Some(batch);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("shard queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        state.closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
+/// Folds one batch with exactly the sequential scoring rules: the first
+/// `warmup` indirect events of the batch train without scoring (they are a
+/// prefix — the router attaches warmup counts to the earliest batches
+/// only), every other indirect event is predict → score → update, and
+/// conditional events go to `observe_cond`.
+fn fold_batch(batch: &Batch, predictor: &mut dyn Predictor, stats: &mut RunStats) {
+    let mut to_warm = batch.warmup;
+    for event in batch.chunk.events() {
+        match event {
+            TraceEvent::Indirect(b) => {
+                if to_warm > 0 {
+                    to_warm -= 1;
+                } else {
+                    let predicted = predictor.predict(b.pc);
+                    stats.indirect += 1;
+                    if predicted != Some(b.target) {
+                        stats.mispredicted += 1;
+                    }
+                }
+                predictor.update(b.pc, b.target);
+            }
+            TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
+        }
+    }
+    debug_assert_eq!(to_warm, 0, "router allocated more warmup than events");
+}
+
+/// The router loop: pull source chunks, allocate the global warmup prefix
+/// to shards in event order, partition by site region, push batches.
+fn route_events<S: EventSource + ?Sized>(
+    source: &mut S,
+    routing: ShardRouting,
+    queues: &[SpscQueue],
+    warmup: u64,
+) -> Result<u64, TraceIoError> {
+    let shards = queues.len();
+    let mut chunk = TraceChunk::default();
+    let mut parts: Vec<TraceChunk> = vec![TraceChunk::default(); shards];
+    let mut warm = vec![0u64; shards];
+    let mut warmup_remaining = warmup;
+    let mut routed = 0u64;
+    loop {
+        let more = source.fill(&mut chunk, chunk_events())?;
+        if warmup_remaining > 0 {
+            for event in chunk.events() {
+                if warmup_remaining == 0 {
+                    break;
+                }
+                if let TraceEvent::Indirect(b) = event {
+                    warm[routing.shard_of(b.pc, shards)] += 1;
+                    warmup_remaining -= 1;
+                }
+            }
+        }
+        chunk.partition_by_site(
+            |pc| routing.shard_of(pc, shards),
+            routing.routes_cond(),
+            &mut parts,
+        );
+        routed += chunk.indirect_count();
+        for (i, part) in parts.iter_mut().enumerate() {
+            if !part.is_empty() || warm[i] > 0 {
+                queues[i].push(Batch {
+                    chunk: std::mem::take(part),
+                    warmup: std::mem::take(&mut warm[i]),
+                });
+            }
+        }
+        if !more {
+            return Ok(routed);
+        }
+    }
+}
+
+/// Folds one event source across `shards` parallel workers and merges the
+/// result — identical to the sequential
+/// [`simulate_source`](crate::simulate_source) fold, provided `routing`
+/// came from [`shardable`](ibp_core::PredictorConfig::shardable) on the
+/// configuration that `make` builds.
+///
+/// Each worker constructs its own predictor via `make`; the routing
+/// invariant guarantees the workers' state partitions never overlap, so
+/// per-site state evolves exactly as in one sequential instance. A shard
+/// count of one (or zero) falls back to the sequential fold directly.
+///
+/// # Errors
+///
+/// Propagates the source's I/O or parse failures (workers are joined
+/// first; their partial stats are discarded).
+pub fn simulate_source_sharded<S: EventSource + ?Sized>(
+    source: &mut S,
+    make: &(dyn Fn() -> Box<dyn Predictor> + Sync),
+    routing: ShardRouting,
+    shards: usize,
+    warmup: u64,
+) -> Result<RunStats, TraceIoError> {
+    if shards <= 1 {
+        let mut p = make();
+        return simulate_source(source, p.as_mut(), warmup);
+    }
+    let mut span = obs::span!(
+        "shard_pipeline",
+        trace = source.name(),
+        shards = shards,
+        exponent = routing.exponent()
+    );
+    runs_counter().incr();
+    let queues: Vec<SpscQueue> = (0..shards).map(|_| SpscQueue::new()).collect();
+    let (routed, per_shard) = std::thread::scope(|scope| {
+        let handles: Vec<_> = queues
+            .iter()
+            .enumerate()
+            .map(|(i, queue)| {
+                scope.spawn(move || {
+                    let mut shard_span = obs::span!("shard", shard = i);
+                    let mut clock = WorkClock::start();
+                    let mut predictor = make();
+                    let mut stats = RunStats::default();
+                    let mut events = 0u64;
+                    while let Some(batch) = queue.pop() {
+                        events += batch.chunk.indirect_count();
+                        clock.busy(|| fold_batch(&batch, predictor.as_mut(), &mut stats));
+                    }
+                    events_counter().add(events);
+                    busy_us_counter().add(clock.busy_us());
+                    idle_us_counter().add(clock.idle_us());
+                    occupancy_histogram().record(clock.util_pct());
+                    shard_span.note("events", events);
+                    shard_span.note("busy_us", clock.busy_us());
+                    shard_span.note("idle_us", clock.idle_us());
+                    shard_span.note("occupancy_pct", clock.util_pct());
+                    stats
+                })
+            })
+            .collect();
+        let routed = route_events(source, routing, &queues, warmup);
+        for queue in &queues {
+            queue.close();
+        }
+        let per_shard: Vec<RunStats> = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        (routed, per_shard)
+    });
+    let routed = routed?;
+    // Merge in shard order. Both fields are u64 event counts, so the sum
+    // is exact and order-independent — byte-identical to the sequential
+    // fold's RunStats.
+    let merged = per_shard
+        .iter()
+        .fold(RunStats::default(), |acc, s| acc.merged(*s));
+    span.note("events", routed);
+    span.note("scored", merged.indirect);
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::simulate_warm;
+    use ibp_core::PredictorConfig;
+    use ibp_trace::{Addr, BranchKind, Trace};
+
+    /// A trace spread over many sites in distinct 2^2-regions, with
+    /// conditionals interleaved, so every shard receives work.
+    fn spread_trace(n: u64) -> Trace {
+        let mut t = Trace::new("spread");
+        for i in 0..n {
+            let site = 0x1000 + 0x10 * (i % 23) as u32;
+            let target = 0x9000 + 8 * ((i / 3) % 5) as u32;
+            if i % 4 == 0 {
+                t.push_cond(Addr::new(site + 4), Addr::new(0x40), i % 8 == 0);
+            }
+            t.push_indirect(Addr::new(site), Addr::new(target), BranchKind::VirtualCall);
+        }
+        t
+    }
+
+    #[test]
+    fn sharded_fold_matches_sequential_fold() {
+        let t = spread_trace(3_000);
+        let cfg = PredictorConfig::btb_2bc();
+        let routing = cfg.shardable().expect("BTB-2bc shards");
+        for warmup in [0u64, 100] {
+            let mut p = cfg.build();
+            let expected = simulate_warm(&t, p.as_mut(), warmup);
+            for shards in [1usize, 2, 4, 7] {
+                let make = || cfg.build();
+                let got = simulate_source_sharded(&mut t.cursor(), &make, routing, shards, warmup)
+                    .expect("in-memory source");
+                assert_eq!(got, expected, "shards = {shards}, warmup = {warmup}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_fold_matches_with_history_and_conditionals() {
+        let t = spread_trace(2_000);
+        let cfg = PredictorConfig::unconstrained(4)
+            .with_history_sharing(ibp_core::HistorySharing::per_set(6))
+            .with_cond_targets(true);
+        let routing = cfg.shardable().expect("per-set history shards");
+        assert!(routing.routes_cond());
+        let mut p = cfg.build();
+        let expected = simulate_warm(&t, p.as_mut(), 50);
+        let make = || cfg.build();
+        let got = simulate_source_sharded(&mut t.cursor(), &make, routing, 3, 50)
+            .expect("in-memory source");
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_source_merges_to_zero() {
+        let t = Trace::new("empty");
+        let cfg = PredictorConfig::btb();
+        let routing = cfg.shardable().expect("shards");
+        let make = || cfg.build();
+        let got = simulate_source_sharded(&mut t.cursor(), &make, routing, 4, 0)
+            .expect("in-memory source");
+        assert_eq!(got, RunStats::default());
+    }
+
+    #[test]
+    fn queue_closes_cleanly_when_empty() {
+        let q = SpscQueue::new();
+        q.close();
+        assert!(q.pop().is_none());
+        // Pushing after close drops the batch rather than blocking.
+        q.push(Batch {
+            chunk: TraceChunk::default(),
+            warmup: 0,
+        });
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn queue_delivers_in_order_under_backpressure() {
+        let q = SpscQueue::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // More batches than QUEUE_CAPACITY: the producer must block
+                // until the consumer drains.
+                for i in 0..(QUEUE_CAPACITY as u64 * 3) {
+                    q.push(Batch {
+                        chunk: TraceChunk::default(),
+                        warmup: i,
+                    });
+                }
+                q.close();
+            });
+            let mut expected = 0u64;
+            while let Some(batch) = q.pop() {
+                assert_eq!(batch.warmup, expected);
+                expected += 1;
+            }
+            assert_eq!(expected, QUEUE_CAPACITY as u64 * 3);
+        });
+    }
+
+    #[test]
+    fn override_policy_wins_over_environment() {
+        override_policy(Some(ShardPolicy::Fixed(3)));
+        assert_eq!(shard_policy(), ShardPolicy::Fixed(3));
+        assert_eq!(shard_budget(1_000), 3, "Fixed ignores queue depth");
+        override_policy(Some(ShardPolicy::Off));
+        assert_eq!(shard_budget(1), 1);
+        override_policy(None);
+    }
+
+    #[test]
+    fn auto_budget_only_fans_out_on_a_tail_heavy_queue() {
+        override_policy(Some(ShardPolicy::Auto));
+        let threads = threads_available();
+        // A queue deeper than the thread pool never shards.
+        assert_eq!(shard_budget(threads + 1), 1);
+        assert_eq!(shard_budget(0), 1);
+        // A single straggler gets the whole pool (capped at 8).
+        assert_eq!(shard_budget(1), threads.clamp(1, 8));
+        override_policy(None);
+    }
+}

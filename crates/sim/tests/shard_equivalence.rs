@@ -1,0 +1,142 @@
+//! The sharded pipeline's one promise: for every shardable configuration,
+//! folding a trace through N shard workers produces *exactly* the
+//! sequential fold's `RunStats` — same scored count, same misprediction
+//! count, at every shard width.
+//!
+//! The suite-level tests drive the full engine path (`Sweep::run` with a
+//! forced `IBP_SHARDS` policy) over all 17 benchmarks, so the router,
+//! warmup accounting, queue plumbing and merge are all on the hook, and a
+//! property test exercises arbitrary chunk-boundary / routing
+//! interleavings.
+
+use ibp_core::{HistorySharing, KeyScheme, PredictorConfig};
+use ibp_sim::shard::{self, simulate_source_sharded, ShardPolicy};
+use ibp_sim::{simulate_warm, Suite};
+use ibp_workload::Benchmark;
+use proptest::prelude::*;
+
+/// Configurations that [`PredictorConfig::shardable`] accepts, spanning
+/// the distinct routing shapes: address-only BTBs, per-set history with
+/// and without conditional-branch noise, full-precision keys, compressed
+/// concatenated keys, and a two-component unbounded hybrid.
+fn shardable_configs() -> Vec<PredictorConfig> {
+    let configs = vec![
+        PredictorConfig::btb(),
+        PredictorConfig::btb_2bc(),
+        PredictorConfig::unconstrained(2).with_history_sharing(HistorySharing::per_set(4)),
+        PredictorConfig::unconstrained(5)
+            .with_history_sharing(HistorySharing::per_set(8))
+            .with_cond_targets(true),
+        PredictorConfig::compressed_unbounded(3)
+            .with_pattern_budget(18)
+            .with_key_scheme(KeyScheme::Concat)
+            .with_history_sharing(HistorySharing::per_set(6)),
+        PredictorConfig::hybrid(3, 1, 512, 4)
+            .with_unbounded_table()
+            .with_key_scheme(KeyScheme::Concat)
+            .with_history_sharing(HistorySharing::per_set(5)),
+    ];
+    for cfg in &configs {
+        assert!(
+            cfg.shardable().is_some(),
+            "test premise: {} must be shardable",
+            cfg.cache_key()
+        );
+    }
+    configs
+}
+
+/// Every shardable config, every benchmark, shard widths 1/2/4/7 — the
+/// direct pipeline API against the sequential fold.
+#[test]
+fn sharded_pipeline_matches_sequential_on_all_benchmarks() {
+    for cfg in shardable_configs() {
+        let routing = cfg.shardable().expect("checked above");
+        for b in Benchmark::ALL {
+            let trace = b.trace_with_len(3_000);
+            let mut p = cfg.build();
+            let expected = simulate_warm(&trace, p.as_mut(), 200);
+            for shards in [1usize, 2, 4, 7] {
+                let make = || cfg.build();
+                let got = simulate_source_sharded(&mut trace.cursor(), &make, routing, shards, 200)
+                    .expect("in-memory source");
+                assert_eq!(
+                    got, expected,
+                    "{} on {b} with {shards} shards diverges",
+                    cfg.cache_key()
+                );
+            }
+        }
+    }
+}
+
+/// The engine path: a forced shard policy must leave `Sweep` results —
+/// shardable and non-shardable configs alike — identical to the sharding-
+/// off run. Mirrors CI's `IBP_SHARDS=4` vs `IBP_SHARDS=0` comparison
+/// in-process.
+#[test]
+fn engine_results_identical_under_forced_sharding() {
+    let suite = Suite::with_benchmarks_and_len(&[Benchmark::Beta, Benchmark::Perl], 4_000);
+    let configs = || {
+        vec![
+            PredictorConfig::btb_2bc(),
+            PredictorConfig::unconstrained(3).with_history_sharing(HistorySharing::per_set(6)),
+            // Not shardable (bounded table, global history): must fall
+            // back to the sequential fold under any policy.
+            PredictorConfig::practical(3, 1024, 4),
+        ]
+    };
+    // The memo cache is cleared before each pass — otherwise the second
+    // pass would be served the first pass's results and the comparison
+    // would be circular.
+    shard::override_policy(Some(ShardPolicy::Off));
+    ibp_sim::engine::clear_memo_cache();
+    let sequential = ibp_sim::engine::run_configs(&suite, configs());
+    shard::override_policy(Some(ShardPolicy::Fixed(4)));
+    ibp_sim::engine::clear_memo_cache();
+    let sharded = ibp_sim::engine::run_configs(&suite, configs());
+    shard::override_policy(None);
+    ibp_sim::engine::clear_memo_cache();
+    assert_eq!(sequential.len(), sharded.len());
+    for (seq, shd) in sequential.iter().zip(&sharded) {
+        for b in suite.benchmarks() {
+            assert_eq!(seq.stats(b), shd.stats(b), "engine diverges on {b}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary event streams, shard widths and warmups: routing through
+    /// the chunked pipeline (which re-chunks at `IBP_CHUNK` boundaries
+    /// independent of how sites interleave) never changes the fold.
+    #[test]
+    fn random_streams_fold_identically(
+        sites in proptest::collection::vec(0u32..64, 1..400),
+        shards in 1usize..8,
+        warmup in 0u64..50,
+    ) {
+        let mut trace = ibp_trace::Trace::new("prop");
+        for (i, &s) in sites.iter().enumerate() {
+            // Sites spread over distinct 2^2 regions; targets cycle so
+            // predictors see both hits and misses.
+            let pc = ibp_trace::Addr::new(0x400 + s * 0x8);
+            let target = ibp_trace::Addr::new(0x9000 + ((i as u32) % 7) * 0x10);
+            if i % 3 == 0 {
+                trace.push_cond(ibp_trace::Addr::new(0x400 + s * 0x8 + 4), target, i % 2 == 0);
+            }
+            trace.push_indirect(pc, target, ibp_trace::BranchKind::Switch);
+        }
+        let cfg = PredictorConfig::unconstrained(4)
+            .with_history_sharing(HistorySharing::per_set(3))
+            .with_cond_targets(true);
+        let routing = cfg.shardable().expect("shardable");
+        let mut p = cfg.build();
+        let expected = simulate_warm(&trace, p.as_mut(), warmup);
+        let make = || cfg.build();
+        let got = simulate_source_sharded(&mut trace.cursor(), &make, routing, shards, warmup)
+            .expect("in-memory source");
+        prop_assert_eq!(got, expected);
+    }
+}
