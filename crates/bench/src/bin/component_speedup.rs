@@ -1,0 +1,122 @@
+//! Measures the component-parallel hybrid pipeline against the sequential
+//! fold on one experiment and records the comparison.
+//!
+//! Usage: `component_speedup [experiment] [workers|auto]` (defaults:
+//! `fig17`, `auto`). The experiment runs twice in-process — once with the
+//! component pipeline off, once with the requested policy — with the memo
+//! cache cleared before each pass so both do the full simulation work.
+//! Site-sharding is forced off for both passes (it outranks the component
+//! fold in the scheduler, and the point here is to isolate the hybrid
+//! pipeline). The two table sets must be byte-identical (the run aborts
+//! otherwise); the wall-time comparison goes to stderr,
+//! `results/component_speedup.csv`, `results/manifest.csv` (one row per
+//! pass) and, with `IBP_TRACE`, a `component_speedup` journal event.
+//!
+//! The honest caveat: speedup is bounded by the cores actually available —
+//! on a single-core host both passes run the same work on one CPU and the
+//! ratio hovers around 1.0.
+
+use std::fs;
+use std::time::Instant;
+
+use ibp_obs as obs;
+use ibp_sim::component::{self, ComponentPolicy};
+use ibp_sim::engine;
+use ibp_sim::shard::{self, ShardPolicy};
+
+fn usage() -> ! {
+    eprintln!("usage: component_speedup [experiment] [workers|auto]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let id = args.next().unwrap_or_else(|| "fig17".to_string());
+    let policy = match args.next().as_deref() {
+        None | Some("auto") => ComponentPolicy::Auto,
+        Some(raw) => match raw.parse() {
+            Ok(n) if n > 0 => ComponentPolicy::Fixed(n),
+            _ => usage(),
+        },
+    };
+    if args.next().is_some() {
+        usage();
+    }
+    let experiment = ibp_sim::experiments::by_id(&id)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+
+    eprintln!(
+        "== component speedup: {} ({} cores available) ==",
+        experiment.title,
+        std::thread::available_parallelism().map_or(1, usize::from),
+    );
+    let suite = ibp_bench::full_suite();
+
+    // Site-sharding outranks the component fold per cell; pin it off so
+    // the second pass exercises the pipeline under measurement.
+    shard::override_policy(Some(ShardPolicy::Off));
+    let mut passes = Vec::new();
+    for (label, pass_policy) in [("sequential", ComponentPolicy::Off), ("components", policy)] {
+        component::override_policy(Some(pass_policy));
+        // Both passes must simulate from scratch — results cached by the
+        // first pass (or loaded from disk) would turn the second into a
+        // no-op and the comparison into noise.
+        engine::clear_memo_cache();
+        let t0 = Instant::now();
+        let (tables, metrics) = ibp_bench::run_instrumented(&experiment, &suite);
+        let wall = t0.elapsed();
+        eprintln!(
+            "{label}: {wall:.2?} ({} cells component-folded)",
+            metrics.engine.component_cells
+        );
+        let csv: String = tables.iter().map(ibp_sim::report::Table::to_csv).collect();
+        passes.push((label, wall, metrics, csv));
+    }
+    component::override_policy(None);
+    shard::override_policy(None);
+
+    let (_, base_wall, _, base_csv) = &passes[0];
+    let (_, comp_wall, comp_metrics, comp_csv) = &passes[1];
+    assert_eq!(
+        base_csv, comp_csv,
+        "component-fold results diverge from the sequential fold — merge bug"
+    );
+    eprintln!("result tables identical across policies");
+
+    let speedup = base_wall.as_secs_f64() / comp_wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "speedup: {speedup:.2}x ({:.2?} -> {:.2?})",
+        base_wall, comp_wall
+    );
+    obs::event!(
+        "component_speedup",
+        experiment = experiment.id,
+        sequential_us = u64::try_from(base_wall.as_micros()).unwrap_or(u64::MAX),
+        components_us = u64::try_from(comp_wall.as_micros()).unwrap_or(u64::MAX),
+        component_cells = comp_metrics.engine.component_cells,
+        speedup = speedup
+    );
+
+    let metrics: Vec<_> = passes.iter().map(|(_, _, m, _)| m.clone()).collect();
+    match ibp_bench::write_manifest(&metrics) {
+        Ok(path) => eprintln!("runtime manifest written to {}", path.display()),
+        Err(e) => obs::warn!("could not write manifest.csv: {e}"),
+    }
+    let dir = ibp_bench::results_dir();
+    let csv = format!(
+        "experiment,policy,wall_seconds,component_cells,speedup\n\
+         {id},sequential,{:.3},0,1.00\n\
+         {id},components,{:.3},{},{speedup:.2}\n",
+        base_wall.as_secs_f64(),
+        comp_wall.as_secs_f64(),
+        comp_metrics.engine.component_cells,
+    );
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("component_speedup.csv");
+        match fs::write(&path, csv) {
+            Ok(()) => eprintln!("speedup record written to {}", path.display()),
+            Err(e) => obs::warn!("could not write component_speedup.csv: {e}"),
+        }
+    }
+    obs::flush();
+}

@@ -10,7 +10,8 @@
 //! cache effectiveness (from the root `experiment` spans), the slowest
 //! (config × benchmark) cells, per-worker busy/idle utilization, and the
 //! final metrics-registry snapshot. `--sharding` adds the chunk-parallel
-//! pipeline's per-shard occupancy and event skew, plus a quantification of
+//! pipeline's per-shard occupancy and event skew, the component-parallel
+//! hybrid pipeline's per-component occupancy, plus a quantification of
 //! how tail-heavy the cell queue was.
 
 use std::collections::BTreeMap;
@@ -283,6 +284,64 @@ fn print_sharding(records: &[Record]) {
             "  event skew: min {events_min}, max {events_max}, mean {mean:.0} \
              (max/mean {skew:.2})\n"
         );
+    }
+
+    // The component-parallel hybrid pipeline, same shape: per-component
+    // occupancy attributes the fig17 tail to its hybrid halves.
+    let cpipelines = records
+        .iter()
+        .filter(|r| r.kind == Kind::Span && r.name == "component_pipeline")
+        .count();
+    let cschedules = records
+        .iter()
+        .filter(|r| r.kind == Kind::Event && r.name == "component_schedule")
+        .count();
+    let components: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.kind == Kind::Span && r.name == "component")
+        .collect();
+    if components.is_empty() {
+        println!(
+            "components: no component spans recorded \
+             ({cpipelines} pipeline runs, {cschedules} schedule decisions)\n"
+        );
+    } else {
+        let mut per_component: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
+        for s in &components {
+            let e = per_component
+                .entry(s.field_u64("component").unwrap_or(0))
+                .or_default();
+            e.0 += 1;
+            e.1 += s.field_u64("events").unwrap_or(0);
+            e.2 += s.field_u64("busy_us").unwrap_or(0);
+            e.3 += s.field_u64("idle_us").unwrap_or(0);
+        }
+        println!(
+            "components ({cpipelines} pipeline runs, {} component spans, \
+             {cschedules} schedule decisions):",
+            components.len()
+        );
+        println!(
+            "  {:<9} {:>6} {:>12} {:>10} {:>10} {:>6}",
+            "component", "spans", "events", "busy", "idle", "busy%"
+        );
+        for (component, (spans, events, busy, idle)) in &per_component {
+            let busy_pct = if busy + idle > 0 {
+                100.0 * *busy as f64 / (busy + idle) as f64
+            } else {
+                0.0
+            };
+            println!(
+                "  {:<9} {:>6} {:>12} {:>10} {:>10} {:>6.1}",
+                component,
+                spans,
+                events,
+                fmt_us(*busy),
+                fmt_us(*idle),
+                busy_pct
+            );
+        }
+        println!();
     }
 
     // Tail heaviness of the cell queue: when one cell dominates total cell

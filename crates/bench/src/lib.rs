@@ -20,6 +20,9 @@
 //! * `IBP_SHARDS` — shard policy for the chunk-parallel pipeline: `auto`
 //!   (default) spends idle cores on tail-heavy queues, `0` disables
 //!   sharding, `n` forces `n` shard workers per run.
+//! * `IBP_COMPONENTS` — component policy for the hybrid pipeline: `auto`
+//!   (default) splits hybrid cells across component workers on tail-heavy
+//!   queues, `0` disables it, `n` forces `n` workers per hybrid run.
 //! * `IBP_CACHE` — `0` disables the persistent cross-process result cache
 //!   under `results/.cache/` (default enabled).
 //! * `IBP_LOG` — stderr log level: `0` quiet (default), `1` per-sweep and
@@ -161,7 +164,7 @@ pub fn run_instrumented(experiment: &Experiment, suite: &Suite) -> (Vec<Table>, 
     }
     obs::info!(
         "[{}] {:.2?}, {} hits / {} misses ({:.1}% hit rate), {} events ({:.0} events/s), \
-         peak rss {:.0} MB",
+         peak rss {} MB",
         metrics.id,
         metrics.wall,
         metrics.engine.hits,
@@ -169,9 +172,19 @@ pub fn run_instrumented(experiment: &Experiment, suite: &Suite) -> (Vec<Table>, 
         metrics.hit_rate_pct(),
         metrics.engine.simulated_events,
         metrics.events_per_sec(),
-        metrics.peak_rss.unwrap_or(0) as f64 / (1 << 20) as f64,
+        peak_rss_mb(metrics.peak_rss),
     );
     (tables, metrics)
+}
+
+/// Renders a peak-RSS sample in whole megabytes, or `na` when the
+/// platform gave no reading — a fabricated `0` would look like a real
+/// measurement.
+fn peak_rss_mb(bytes: Option<u64>) -> String {
+    match bytes {
+        Some(b) => format!("{:.0}", b as f64 / (1 << 20) as f64),
+        None => "na".to_string(),
+    }
 }
 
 /// Writes `$IBP_RESULTS/manifest.csv`: one row of runtime metrics per
@@ -185,13 +198,27 @@ pub fn run_instrumented(experiment: &Experiment, suite: &Suite) -> (Vec<Table>, 
 pub fn write_manifest(metrics: &[ExperimentMetrics]) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     fs::create_dir_all(&dir)?;
+    let path = dir.join("manifest.csv");
+    fs::write(&path, manifest_csv(metrics))?;
+    Ok(path)
+}
+
+/// The manifest CSV content (see [`write_manifest`]). A missing peak-RSS
+/// reading leaves the `peak_rss_mb` field empty rather than writing a
+/// fabricated `0.0`.
+#[must_use]
+pub fn manifest_csv(metrics: &[ExperimentMetrics]) -> String {
     let mut csv = String::from(
         "experiment,wall_seconds,cache_hits,cache_misses,persistent_hits,hit_rate_pct,\
-         simulated_events,events_per_sec,sharded_cells,peak_rss_mb\n",
+         simulated_events,events_per_sec,sharded_cells,component_cells,peak_rss_mb\n",
     );
     for m in metrics {
+        let rss = match m.peak_rss {
+            Some(b) => format!("{:.1}", b as f64 / (1 << 20) as f64),
+            None => String::new(),
+        };
         csv.push_str(&format!(
-            "{},{:.3},{},{},{},{:.1},{},{:.0},{},{:.1}\n",
+            "{},{:.3},{},{},{},{:.1},{},{:.0},{},{},{rss}\n",
             m.id,
             m.wall.as_secs_f64(),
             m.engine.hits,
@@ -201,12 +228,10 @@ pub fn write_manifest(metrics: &[ExperimentMetrics]) -> std::io::Result<PathBuf>
             m.engine.simulated_events,
             m.events_per_sec(),
             m.engine.sharded_cells,
-            m.peak_rss.unwrap_or(0) as f64 / (1 << 20) as f64,
+            m.engine.component_cells,
         ));
     }
-    let path = dir.join("manifest.csv");
-    fs::write(&path, csv)?;
-    Ok(path)
+    csv
 }
 
 /// Prints the end-of-run cache/throughput summary on stderr.
@@ -218,6 +243,7 @@ pub fn print_summary(metrics: &[ExperimentMetrics], total_wall: Duration) {
             persistent_hits: acc.persistent_hits + m.engine.persistent_hits,
             simulated_events: acc.simulated_events + m.engine.simulated_events,
             sharded_cells: acc.sharded_cells + m.engine.sharded_cells,
+            component_cells: acc.component_cells + m.engine.component_cells,
         }
     });
     let lookups = total.hits + total.misses;
@@ -236,8 +262,10 @@ pub fn print_summary(metrics: &[ExperimentMetrics], total_wall: Duration) {
     } else {
         0.0
     };
+    // `filter_map` keeps unreadable samples out of the max; if no
+    // experiment got a reading, the clause is omitted entirely.
     let rss = match metrics.iter().filter_map(|m| m.peak_rss).max() {
-        Some(bytes) => format!(", peak rss {:.0} MB", bytes as f64 / (1 << 20) as f64),
+        Some(bytes) => format!(", peak rss {} MB", peak_rss_mb(Some(bytes))),
         None => String::new(),
     };
     eprintln!(
@@ -257,5 +285,58 @@ pub fn print_summary(metrics: &[ExperimentMetrics], total_wall: Duration) {
     );
     if total.sharded_cells > 0 {
         eprintln!("sharded cells: {}", total.sharded_cells);
+    }
+    if total.component_cells > 0 {
+        eprintln!("component cells: {}", total.component_cells);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: &'static str, peak_rss: Option<u64>) -> ExperimentMetrics {
+        ExperimentMetrics {
+            id,
+            wall: Duration::from_millis(1500),
+            engine: EngineStats {
+                hits: 3,
+                misses: 1,
+                persistent_hits: 2,
+                simulated_events: 40,
+                sharded_cells: 1,
+                component_cells: 2,
+            },
+            peak_rss,
+        }
+    }
+
+    #[test]
+    fn manifest_leaves_peak_rss_empty_when_unreadable() {
+        let csv = manifest_csv(&[sample("fig17", None)]);
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header row");
+        assert!(header.ends_with("sharded_cells,component_cells,peak_rss_mb"));
+        let row = lines.next().expect("one data row");
+        assert!(row.ends_with(",1,2,"), "rss field must be empty, got {row}");
+        assert!(!row.contains(",0.0"), "no fabricated rss reading: {row}");
+        assert_eq!(
+            row.split(',').count(),
+            header.split(',').count(),
+            "empty field still keeps the column count"
+        );
+    }
+
+    #[test]
+    fn manifest_reports_real_peak_rss_readings() {
+        let csv = manifest_csv(&[sample("fig9", Some(5 << 20))]);
+        let row = csv.lines().nth(1).expect("one data row");
+        assert!(row.ends_with(",1,2,5.0"), "got {row}");
+    }
+
+    #[test]
+    fn stderr_peak_rss_is_na_when_unreadable() {
+        assert_eq!(peak_rss_mb(None), "na");
+        assert_eq!(peak_rss_mb(Some(6 << 20)), "6");
     }
 }

@@ -8,7 +8,7 @@ use crate::history::{HistoryElement, HistorySharing, MAX_PATH};
 use crate::hybrid::HybridPredictor;
 use crate::interleave::Interleaving;
 use crate::key::{CompressedKeySpec, KeyScheme, TableSharing};
-use crate::meta::BpstMetaPredictor;
+use crate::meta::{BpstMetaPredictor, MetaSpec};
 use crate::pattern::PatternCompressor;
 use crate::predictor::{Predictor, UpdateRule};
 use crate::two_level::TwoLevelPredictor;
@@ -446,6 +446,67 @@ impl PredictorConfig {
         })
     }
 
+    /// Splits a hybrid configuration into its two component configurations
+    /// plus the metapredictor specification that arbitrates them. Returns
+    /// `None` for non-hybrid kinds and for invalid configurations.
+    ///
+    /// Each component config is this config with the kind forced to
+    /// [`PredictorKind::TwoLevel`] and one of the pair's path lengths, so
+    /// `component.try_build_two_level()` constructs *exactly* the
+    /// predictor [`try_build`](PredictorConfig::try_build) would embed in
+    /// the hybrid. That is the foundation of the component-parallel fold
+    /// (`ibp_sim::component`): fold each component independently, then
+    /// replay the recorded lookups through a
+    /// [`MetaState`](crate::MetaState) built from the returned
+    /// [`MetaSpec`] — the result is byte-identical to the sequential
+    /// hybrid fold.
+    #[must_use]
+    pub fn decompose(&self) -> Option<Decomposition> {
+        let meta = match self.kind {
+            PredictorKind::Hybrid => MetaSpec::Confidence,
+            // The BPST selector width is not a config knob; `try_build`
+            // always constructs the default 2-bit selectors.
+            PredictorKind::Bpst => MetaSpec::Bpst { selector_bits: 2 },
+            PredictorKind::Btb | PredictorKind::TwoLevel => return None,
+        };
+        self.validate().ok()?;
+        let component = |path_len: usize| {
+            let mut c = self.clone();
+            c.kind = PredictorKind::TwoLevel;
+            c.path_len = path_len;
+            c.path_len2 = 0;
+            c
+        };
+        Some(Decomposition {
+            first: component(self.path_len),
+            second: component(self.path_len2),
+            meta,
+        })
+    }
+
+    /// Builds the typed two-level predictor for a non-hybrid
+    /// configuration. Component workers use this instead of
+    /// [`build`](PredictorConfig::build) because they need
+    /// [`TwoLevelPredictor::lookup`] — the confidence-carrying variant of
+    /// `predict` that the metapredictor replay consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid parameter combinations, or
+    /// [`ConfigError::Unrepresentable`] for hybrid kinds (decompose those
+    /// first).
+    pub fn try_build_two_level(&self) -> Result<TwoLevelPredictor, ConfigError> {
+        match self.kind {
+            PredictorKind::Btb | PredictorKind::TwoLevel => {
+                self.validate()?;
+                self.build_component(self.path_len)
+            }
+            PredictorKind::Hybrid | PredictorKind::Bpst => Err(ConfigError::Unrepresentable(
+                "a hybrid is not a single two-level component",
+            )),
+        }
+    }
+
     /// A canonical identity string covering *every* parameter of this
     /// configuration: two configs with the same key build predictors with
     /// identical behaviour, so simulation results may be memoized under it
@@ -575,6 +636,20 @@ impl PredictorConfig {
             .with_confidence_bits(self.confidence_bits)
             .with_cond_targets(self.include_cond))
     }
+}
+
+/// A hybrid configuration split into its parts by
+/// [`PredictorConfig::decompose`]: the two component configurations (each
+/// a standalone [`PredictorKind::TwoLevel`] config) plus the metapredictor
+/// specification that arbitrates between them per event.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// The tie-winning component ("p1" of a `p1.p2` pair).
+    pub first: PredictorConfig,
+    /// The other component.
+    pub second: PredictorConfig,
+    /// What arbitrates per-event between the components' predictions.
+    pub meta: MetaSpec,
 }
 
 /// How to route trace events to shard workers for a configuration that
@@ -739,6 +814,37 @@ mod tests {
         let c = PredictorConfig::hybrid(5, 2, 256, 2);
         assert_eq!(c.kind(), PredictorKind::Hybrid);
         assert_eq!(c.path_len(), 5);
+    }
+
+    #[test]
+    fn decompose_covers_hybrid_kinds_only() {
+        assert!(PredictorConfig::btb().decompose().is_none());
+        assert!(PredictorConfig::practical(3, 1024, 4).decompose().is_none());
+        let d = PredictorConfig::hybrid(6, 2, 4096, 4)
+            .decompose()
+            .expect("hybrids decompose");
+        assert_eq!(d.meta, MetaSpec::Confidence);
+        assert_eq!(d.first.kind(), PredictorKind::TwoLevel);
+        assert_eq!(d.first.path_len(), 6);
+        assert_eq!(d.second.path_len(), 2);
+        let d = PredictorConfig::bpst(3, 1, 512, 4).decompose().expect("bpst");
+        assert_eq!(d.meta, MetaSpec::Bpst { selector_bits: 2 });
+        // Invalid configs do not decompose.
+        assert!(PredictorConfig::hybrid(3, 1, 1000, 4).decompose().is_none());
+    }
+
+    #[test]
+    fn decomposed_components_build_the_embedded_predictors() {
+        let cfg = PredictorConfig::hybrid(6, 2, 4096, 4);
+        let d = cfg.decompose().expect("decomposes");
+        let first = d.first.try_build_two_level().expect("first builds");
+        let second = d.second.try_build_two_level().expect("second builds");
+        let hybrid = cfg.build();
+        // Rebuilding the hybrid from the decomposed components reproduces
+        // the sequential predictor exactly (name covers every knob the
+        // component builder reads).
+        assert_eq!(HybridPredictor::new(first, second).name(), hybrid.name());
+        assert!(cfg.try_build_two_level().is_err());
     }
 
     #[test]

@@ -59,8 +59,15 @@ impl HybridPredictor {
     }
 
     /// The metaprediction rule: picks the hit with the higher confidence,
-    /// first component winning ties.
-    fn select(first: Option<TableHit>, second: Option<TableHit>) -> Option<TableHit> {
+    /// first component winning ties. A component that misses never wins
+    /// over one that hits.
+    ///
+    /// Public because it is *the* confidence-arbitration rule: the
+    /// component-parallel merge fold ([`MetaState`](crate::MetaState))
+    /// replays recorded component lookups through this same function, which
+    /// is what makes its result byte-identical to the sequential hybrid.
+    #[must_use]
+    pub fn select(first: Option<TableHit>, second: Option<TableHit>) -> Option<TableHit> {
         match (first, second) {
             (Some(a), Some(b)) => Some(if b.confidence > a.confidence { b } else { a }),
             (Some(a), None) => Some(a),

@@ -63,13 +63,15 @@ pub mod table;
 mod two_level;
 
 pub use btb::Btb;
-pub use config::{Associativity, ConfigError, PredictorConfig, PredictorKind, ShardRouting};
+pub use config::{
+    Associativity, ConfigError, Decomposition, PredictorConfig, PredictorKind, ShardRouting,
+};
 pub use counter::SaturatingCounter;
 pub use history::{Histories, HistoryElement, HistoryRegister, HistorySharing, MAX_PATH};
 pub use hybrid::HybridPredictor;
 pub use interleave::Interleaving;
 pub use key::{CompressedKeySpec, FullKey, KeyScheme, TableSharing};
-pub use meta::BpstMetaPredictor;
+pub use meta::{BpstMetaPredictor, MetaSpec, MetaState};
 pub use pattern::PatternCompressor;
 pub use predictor::{Predictor, UpdateRule};
 pub use two_level::TwoLevelPredictor;

@@ -1,0 +1,550 @@
+//! The component-parallel fold for hybrid predictors.
+//!
+//! fig17's bounded-table hybrids dominate `repro_all` wall time, and the
+//! per-site sharded pipeline ([`crate::shard`]) can never touch them:
+//! bounded tables alias across site regions by construction, so
+//! [`PredictorConfig::shardable`] refuses every fig17 hybrid. But a hybrid
+//! has a second decomposition axis — its *components*. The two component
+//! predictors never read each other's state; only the metapredictor needs
+//! both, and only through each component's per-event prediction. So:
+//!
+//! * [`PredictorConfig::decompose`] splits the hybrid config into two
+//!   standalone component configs plus a [`MetaSpec`];
+//! * a **router** (the calling thread) pulls chunks from the one shared
+//!   [`EventSource`] pass and broadcasts each as an [`Arc<TraceChunk>`]
+//!   to both component workers over the bounded SPSC queues the shard
+//!   pipeline already uses — no event payload is cloned per worker;
+//! * each **component worker** owns one [`TwoLevelPredictor`] and folds
+//!   every event exactly as it would inside the sequential hybrid
+//!   (indirect events update, conditionals `observe_cond`), emitting one
+//!   compact [`PredRecord`] per indirect event: hit/miss plus the
+//!   predicted target and its confidence, captured *before* the update —
+//!   precisely what the sequential predictor's `predict` would have seen;
+//! * the **merge fold** (the router again, with a bounded in-flight
+//!   window) replays the paired record streams through a [`MetaState`]:
+//!   the confidence rule is literally `HybridPredictor::select` and the
+//!   BPST selector table is the one `BpstMetaPredictor` owns, consulted
+//!   and trained in the sequential `predict`-then-`update` order. The
+//!   produced [`RunStats`] is therefore byte-identical to the sequential
+//!   hybrid fold — not statistically close, identical.
+//!
+//! Records cover warmup events too: BPST selectors train on *every*
+//! update, including the unscored warmup prefix, so the merge must see
+//! those lookups even though it scores none of them.
+//!
+//! Whether a cell gets the pipeline is a scheduling decision
+//! ([`component_budget`]): `IBP_COMPONENTS=0` disables it, `=n` forces it
+//! regardless of core count (the equivalence tests and 1-CPU acceptance
+//! runs rely on that), and `auto` (the default) engages it only on a
+//! tail-heavy queue, mirroring `IBP_SHARDS`.
+//!
+//! With tracing on, every run emits a `component_pipeline` span, one
+//! `component` span per worker (events, busy/idle split), and the
+//! registry tracks `component.*` counters plus the record-buffer
+//! high-water mark (`component.record_hwm`) so `obs_report --sharding`
+//! can attribute the fig17 tail to its new schedule.
+//!
+//! [`PredictorConfig::shardable`]: ibp_core::PredictorConfig::shardable
+//! [`PredictorConfig::decompose`]: ibp_core::PredictorConfig::decompose
+//! [`MetaSpec`]: ibp_core::MetaSpec
+//! [`MetaState`]: ibp_core::MetaState
+//! [`TwoLevelPredictor`]: ibp_core::TwoLevelPredictor
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ibp_core::table::TableHit;
+use ibp_core::{
+    BpstMetaPredictor, Decomposition, HybridPredictor, MetaSpec, MetaState, Predictor,
+};
+use ibp_obs as obs;
+use ibp_obs::metrics::{Counter, Histogram, WorkClock};
+use ibp_trace::io::TraceIoError;
+use ibp_trace::{chunk_events, Addr, EventSource, TraceChunk, TraceEvent};
+
+use crate::run::{simulate_source, RunStats};
+use crate::shard::{threads_available, SpscQueue, QUEUE_CAPACITY};
+
+/// Whether hybrid cells may run the component-parallel fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentPolicy {
+    /// Never (`IBP_COMPONENTS=0`): hybrids fold sequentially.
+    Off,
+    /// Engage the pipeline when the scheduler finds idle capacity
+    /// (`IBP_COMPONENTS=auto`, the default).
+    Auto,
+    /// Always grant this many workers to decomposable runs
+    /// (`IBP_COMPONENTS=n`), regardless of core count. Values above the
+    /// component count clamp — a two-component hybrid uses at most two.
+    Fixed(usize),
+}
+
+fn env_policy() -> ComponentPolicy {
+    static POLICY: OnceLock<ComponentPolicy> = OnceLock::new();
+    *POLICY.get_or_init(|| match std::env::var("IBP_COMPONENTS") {
+        Ok(raw) => match raw.as_str() {
+            "auto" => ComponentPolicy::Auto,
+            _ => match raw.parse::<usize>() {
+                Ok(0) => ComponentPolicy::Off,
+                Ok(n) => ComponentPolicy::Fixed(n),
+                Err(_) => {
+                    eprintln!(
+                        "warning: ignoring invalid IBP_COMPONENTS={raw:?} \
+                         (expected a worker count, \"auto\" or 0); using auto"
+                    );
+                    ComponentPolicy::Auto
+                }
+            },
+        },
+        Err(_) => ComponentPolicy::Auto,
+    })
+}
+
+fn override_slot() -> &'static Mutex<Option<ComponentPolicy>> {
+    static SLOT: Mutex<Option<ComponentPolicy>> = Mutex::new(None);
+    &SLOT
+}
+
+/// Replaces the `IBP_COMPONENTS` policy for this process (`None` restores
+/// the environment's). For tests and measurement binaries that compare
+/// policies within one process — the environment variable is read once.
+pub fn override_policy(policy: Option<ComponentPolicy>) {
+    *override_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = policy;
+}
+
+/// The active component policy: the process-wide override if one is set
+/// ([`override_policy`]), else `IBP_COMPONENTS` parsed once with
+/// warn-and-default (like `IBP_SHARDS`).
+#[must_use]
+pub fn component_policy() -> ComponentPolicy {
+    override_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(env_policy)
+}
+
+/// How many component workers each of `tasks` queued cells should get.
+///
+/// `Fixed(n)` always grants `n` (the pipeline clamps to the component
+/// count). `Auto` grants 2 — one worker per component of a two-component
+/// hybrid — only when the queue is tail-heavy, the same regime
+/// [`shard_budget`](crate::shard::shard_budget) fans out in. `Off` and a
+/// saturated queue grant 1 (sequential).
+#[must_use]
+pub fn component_budget(tasks: usize) -> usize {
+    let budget = match component_policy() {
+        ComponentPolicy::Off => 1,
+        ComponentPolicy::Fixed(n) => n.max(1),
+        ComponentPolicy::Auto => {
+            let threads = threads_available();
+            if tasks == 0 || tasks >= threads {
+                1
+            } else {
+                2
+            }
+        }
+    };
+    if budget > 1 {
+        obs::debug!("[component] budget: {tasks} tasks -> {budget} workers each");
+    }
+    budget
+}
+
+fn runs_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("component.runs"))
+}
+
+fn events_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("component.events"))
+}
+
+fn busy_us_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("component.busy_us"))
+}
+
+fn idle_us_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("component.idle_us"))
+}
+
+fn occupancy_histogram() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::metrics::histogram("component.occupancy_pct", &[10, 25, 50, 75, 90, 95, 99, 100])
+    })
+}
+
+/// One component's pre-update table lookup for one indirect event: the
+/// predicted target id and its confidence, or a miss. 8 bytes per event
+/// per component — the only data that crosses back from the workers.
+#[derive(Debug, Clone, Copy)]
+struct PredRecord {
+    target: u32,
+    confidence: u8,
+    hit: bool,
+}
+
+impl PredRecord {
+    fn pack(hit: Option<TableHit>) -> Self {
+        match hit {
+            Some(h) => PredRecord {
+                target: h.target.raw(),
+                confidence: h.confidence,
+                hit: true,
+            },
+            None => PredRecord {
+                target: 0,
+                confidence: 0,
+                hit: false,
+            },
+        }
+    }
+
+    fn unpack(self) -> Option<TableHit> {
+        self.hit.then_some(TableHit {
+            target: Addr::new(self.target),
+            confidence: self.confidence,
+        })
+    }
+}
+
+/// Rebuilds the sequential hybrid from its decomposition — the fallback
+/// when the budget grants no parallelism, and the definition the pipeline
+/// is tested against.
+fn build_sequential(d: &Decomposition) -> Box<dyn Predictor> {
+    let first = d
+        .first
+        .try_build_two_level()
+        .expect("decomposed component config builds");
+    let second = d
+        .second
+        .try_build_two_level()
+        .expect("decomposed component config builds");
+    match d.meta {
+        MetaSpec::Confidence => Box::new(HybridPredictor::new(first, second)),
+        MetaSpec::Bpst { selector_bits } => {
+            Box::new(BpstMetaPredictor::with_selector_bits(first, second, selector_bits))
+        }
+    }
+}
+
+/// Replays one broadcast chunk's paired record streams through the
+/// metapredictor with the sequential scoring rules: `seen` counts every
+/// indirect event against the global warmup prefix, scored events
+/// arbitrate-then-score, and the selector trains on every event (that is
+/// what `replay` does — arbitration is pure, training matches `update`).
+fn merge_chunk(
+    chunk: &TraceChunk,
+    first: &[PredRecord],
+    second: &[PredRecord],
+    meta: &mut MetaState,
+    stats: &mut RunStats,
+    seen: &mut u64,
+    warmup: u64,
+) {
+    debug_assert_eq!(first.len() as u64, chunk.indirect_count());
+    debug_assert_eq!(second.len() as u64, chunk.indirect_count());
+    for ((b, f), s) in chunk.indirect().zip(first).zip(second) {
+        *seen += 1;
+        let predicted = meta.replay(b.pc, f.unpack(), s.unpack(), b.target);
+        if *seen > warmup {
+            stats.indirect += 1;
+            if predicted != Some(b.target) {
+                stats.mispredicted += 1;
+            }
+        }
+    }
+}
+
+/// One component worker: folds every broadcast chunk into its own
+/// predictor, emitting the pre-update lookup record per indirect event.
+fn component_worker(
+    index: usize,
+    cfg: &ibp_core::PredictorConfig,
+    input: &SpscQueue<Arc<TraceChunk>>,
+    output: &SpscQueue<Vec<PredRecord>>,
+) {
+    let mut span = obs::span!("component", component = index);
+    let mut clock = WorkClock::start();
+    let mut predictor = cfg
+        .try_build_two_level()
+        .expect("decomposed component config builds");
+    let mut events = 0u64;
+    while let Some(chunk) = input.pop() {
+        let records = clock.busy(|| {
+            let mut records = Vec::with_capacity(chunk.indirect_count() as usize);
+            for event in chunk.events() {
+                match event {
+                    TraceEvent::Indirect(b) => {
+                        records.push(PredRecord::pack(predictor.lookup(b.pc)));
+                        predictor.update(b.pc, b.target);
+                    }
+                    TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
+                }
+            }
+            records
+        });
+        events += records.len() as u64;
+        output.push(records);
+    }
+    events_counter().add(events);
+    busy_us_counter().add(clock.busy_us());
+    idle_us_counter().add(clock.idle_us());
+    occupancy_histogram().record(clock.util_pct());
+    span.note("path_len", cfg.path_len() as u64);
+    span.note("events", events);
+    span.note("busy_us", clock.busy_us());
+    span.note("idle_us", clock.idle_us());
+    span.note("occupancy_pct", clock.util_pct());
+}
+
+/// Folds one event source through a decomposed hybrid's components in
+/// parallel and merges the recorded prediction streams through the
+/// metapredictor — byte-identical to the sequential hybrid fold.
+///
+/// `workers <= 1` falls back to the sequential fold (rebuilt from the
+/// decomposition); values above the component count clamp to it. The
+/// chunk granularity is `IBP_CHUNK` ([`chunk_events`]); see
+/// [`simulate_source_components_with_chunk`] for an explicit granularity
+/// (chunk boundaries never change the result — the equivalence property
+/// tests pin that down).
+///
+/// # Errors
+///
+/// Propagates the source's I/O or parse failures (workers are unblocked
+/// and joined first; partial records are discarded).
+pub fn simulate_source_components<S: EventSource + ?Sized>(
+    source: &mut S,
+    decomposition: &Decomposition,
+    workers: usize,
+    warmup: u64,
+) -> Result<RunStats, TraceIoError> {
+    simulate_source_components_with_chunk(source, decomposition, workers, warmup, chunk_events())
+}
+
+/// [`simulate_source_components`] with an explicit chunk granularity.
+///
+/// The result is independent of `chunk` (record streams are paired with
+/// their chunk, and warmup is a global event count), so this exists for
+/// boundary tests and tuning, not correctness.
+///
+/// # Errors
+///
+/// Propagates the source's I/O or parse failures.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn simulate_source_components_with_chunk<S: EventSource + ?Sized>(
+    source: &mut S,
+    decomposition: &Decomposition,
+    workers: usize,
+    warmup: u64,
+    chunk: u64,
+) -> Result<RunStats, TraceIoError> {
+    assert!(chunk > 0, "chunk granularity must be positive");
+    if workers <= 1 {
+        let mut p = build_sequential(decomposition);
+        return simulate_source(source, p.as_mut(), warmup);
+    }
+    let meta_name = match decomposition.meta {
+        MetaSpec::Confidence => "confidence",
+        MetaSpec::Bpst { .. } => "bpst",
+    };
+    let mut span = obs::span!(
+        "component_pipeline",
+        trace = source.name(),
+        components = 2,
+        meta = meta_name
+    );
+    runs_counter().incr();
+    let configs = [&decomposition.first, &decomposition.second];
+    let inputs: Vec<SpscQueue<Arc<TraceChunk>>> = (0..2).map(|_| SpscQueue::new()).collect();
+    let outputs: Vec<SpscQueue<Vec<PredRecord>>> = (0..2).map(|_| SpscQueue::new()).collect();
+    let mut meta = MetaState::new(decomposition.meta);
+    let mut stats = RunStats::default();
+    let mut seen = 0u64;
+    let mut record_hwm = 0u64;
+    let routed = std::thread::scope(|scope| -> Result<u64, TraceIoError> {
+        for (i, cfg) in configs.into_iter().enumerate() {
+            let (input, output) = (&inputs[i], &outputs[i]);
+            scope.spawn(move || component_worker(i, cfg, input, output));
+        }
+        // Router + merger: broadcast each freshly filled chunk (fill
+        // clears its argument, and the previous chunk is still shared
+        // with the workers, so every fill gets a fresh allocation), and
+        // keep at most QUEUE_CAPACITY chunks in flight before merging the
+        // oldest. That bound is what makes the single-threaded
+        // router/merger deadlock-free: a worker never has more than
+        // QUEUE_CAPACITY unmerged record buffers outstanding, so its
+        // output push never blocks forever.
+        let mut ring: VecDeque<Arc<TraceChunk>> = VecDeque::with_capacity(QUEUE_CAPACITY);
+        let mut inflight_records = 0u64;
+        let mut routed = 0u64;
+        let mut merge_oldest = |ring: &mut VecDeque<Arc<TraceChunk>>, inflight: &mut u64| {
+            let chunk = ring.pop_front().expect("merge on empty ring");
+            let first = outputs[0].pop().expect("first component starved the merge");
+            let second = outputs[1].pop().expect("second component starved the merge");
+            merge_chunk(&chunk, &first, &second, &mut meta, &mut stats, &mut seen, warmup);
+            *inflight -= 2 * chunk.indirect_count();
+        };
+        loop {
+            let mut fresh = TraceChunk::default();
+            let more = match source.fill(&mut fresh, chunk) {
+                Ok(more) => more,
+                Err(e) => {
+                    // Unblock both sides: workers drain their remaining
+                    // chunks and their output pushes drop once closed.
+                    for q in &inputs {
+                        q.close();
+                    }
+                    for q in &outputs {
+                        q.close();
+                    }
+                    return Err(e);
+                }
+            };
+            let shared = Arc::new(fresh);
+            routed += shared.indirect_count();
+            inflight_records += 2 * shared.indirect_count();
+            record_hwm = record_hwm.max(inflight_records);
+            for q in &inputs {
+                q.push(Arc::clone(&shared));
+            }
+            ring.push_back(shared);
+            if ring.len() >= QUEUE_CAPACITY {
+                merge_oldest(&mut ring, &mut inflight_records);
+            }
+            if !more {
+                break;
+            }
+        }
+        for q in &inputs {
+            q.close();
+        }
+        while !ring.is_empty() {
+            merge_oldest(&mut ring, &mut inflight_records);
+        }
+        Ok(routed)
+    })?;
+    obs::metrics::gauge("component.record_hwm").set(i64::try_from(record_hwm).unwrap_or(i64::MAX));
+    span.note("events", routed);
+    span.note("scored", stats.indirect);
+    span.note("record_hwm", record_hwm);
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::simulate_warm;
+    use ibp_core::PredictorConfig;
+    use ibp_trace::{BranchKind, Trace};
+
+    /// A polymorphic trace over a handful of sites with phase changes, so
+    /// the two components genuinely disagree and the metapredictor state
+    /// matters.
+    fn phased_trace(n: u64) -> Trace {
+        let mut t = Trace::new("phased");
+        for i in 0..n {
+            let site = 0x1000 + 0x10 * (i % 7) as u32;
+            let target = if i < n / 2 {
+                0x9000 + 8 * ((i / 2) % 4) as u32
+            } else {
+                0xA000 + 8 * (i % 3) as u32
+            };
+            if i % 5 == 0 {
+                t.push_cond(Addr::new(site + 4), Addr::new(0x40), i % 2 == 0);
+            }
+            t.push_indirect(Addr::new(site), Addr::new(target), BranchKind::VirtualCall);
+        }
+        t
+    }
+
+    #[test]
+    fn component_fold_matches_sequential_hybrid() {
+        let t = phased_trace(2_000);
+        for cfg in [
+            PredictorConfig::hybrid(6, 2, 256, 4),
+            PredictorConfig::bpst(3, 0, 128, 2),
+        ] {
+            let d = cfg.decompose().expect("hybrids decompose");
+            for warmup in [0u64, 150] {
+                let mut p = cfg.build();
+                let expected = simulate_warm(&t, p.as_mut(), warmup);
+                for workers in [1usize, 2, 5] {
+                    let got =
+                        simulate_source_components(&mut t.cursor(), &d, workers, warmup)
+                            .expect("in-memory source");
+                    assert_eq!(
+                        got, expected,
+                        "{} with {workers} workers, warmup {warmup}",
+                        cfg.cache_key()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_granularity_is_invisible() {
+        let t = phased_trace(500);
+        let cfg = PredictorConfig::bpst(2, 0, 64, 2);
+        let d = cfg.decompose().expect("decomposes");
+        let mut p = cfg.build();
+        let expected = simulate_warm(&t, p.as_mut(), 30);
+        for chunk in [1u64, 63, 64, 65, 4096] {
+            let got = simulate_source_components_with_chunk(&mut t.cursor(), &d, 2, 30, chunk)
+                .expect("in-memory source");
+            assert_eq!(got, expected, "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_source_merges_to_zero() {
+        let t = Trace::new("empty");
+        let d = PredictorConfig::hybrid(3, 1, 64, 2)
+            .decompose()
+            .expect("decomposes");
+        let got = simulate_source_components(&mut t.cursor(), &d, 2, 0)
+            .expect("in-memory source");
+        assert_eq!(got, RunStats::default());
+    }
+
+    #[test]
+    fn record_packing_round_trips() {
+        let hit = TableHit {
+            target: Addr::new(0x9000),
+            confidence: 3,
+        };
+        assert_eq!(PredRecord::pack(Some(hit)).unpack(), Some(hit));
+        assert_eq!(PredRecord::pack(None).unpack(), None);
+    }
+
+    #[test]
+    fn override_policy_wins_over_environment() {
+        override_policy(Some(ComponentPolicy::Fixed(2)));
+        assert_eq!(component_policy(), ComponentPolicy::Fixed(2));
+        assert_eq!(component_budget(10_000), 2, "Fixed ignores queue depth");
+        override_policy(Some(ComponentPolicy::Off));
+        assert_eq!(component_budget(1), 1);
+        override_policy(None);
+    }
+
+    #[test]
+    fn auto_budget_only_fans_out_on_a_tail_heavy_queue() {
+        override_policy(Some(ComponentPolicy::Auto));
+        let threads = threads_available();
+        assert_eq!(component_budget(threads + 1), 1);
+        assert_eq!(component_budget(0), 1);
+        if threads > 1 {
+            assert_eq!(component_budget(1), 2, "one straggler, idle cores");
+        }
+        override_policy(None);
+    }
+}

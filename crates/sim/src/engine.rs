@@ -27,13 +27,16 @@
 //!   site-partitionable ([`PredictorConfig::shardable`]) run through the
 //!   chunk-parallel sharded pipeline ([`crate::shard`]) instead of a
 //!   sequential fold — same `RunStats`, more cores (`IBP_SHARDS`
-//!   controls the policy);
+//!   controls the policy); hybrid cells that cannot site-shard but can
+//!   split into components ([`PredictorConfig::decompose`]) run through
+//!   the component-parallel pipeline ([`crate::component`],
+//!   `IBP_COMPONENTS`) instead;
 //! * global hit/miss/event counters ([`stats`]) let callers report cache
 //!   effectiveness and simulation throughput — they live in the
 //!   [`ibp_obs::metrics`] registry (`engine.cache.hits`,
 //!   `engine.cache.misses`, `engine.cache.persistent_hits`,
-//!   `engine.simulated_events`, `engine.sharded_cells`), so a journal
-//!   snapshot carries them too;
+//!   `engine.simulated_events`, `engine.sharded_cells`,
+//!   `engine.component_cells`), so a journal snapshot carries them too;
 //! * with tracing on (`IBP_TRACE`), every simulated cell emits a `cell`
 //!   span (config, benchmark, queue wait vs. run time) and every memoized
 //!   lookup a `cell` event with `outcome = "hit"`.
@@ -44,12 +47,13 @@ use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use ibp_core::{Predictor, PredictorConfig, ShardRouting};
+use ibp_core::{Decomposition, Predictor, PredictorConfig, ShardRouting};
 use ibp_obs as obs;
 use ibp_obs::metrics::Counter;
 use ibp_workload::Benchmark;
 
 use crate::cache::CacheKey;
+use crate::component;
 use crate::parallel::parallel_map;
 use crate::run::{simulate_source_multi, simulate_warm, RunStats};
 use crate::shard;
@@ -102,6 +106,11 @@ fn sharded_cells() -> &'static Arc<Counter> {
     C.get_or_init(|| obs::metrics::counter("engine.sharded_cells"))
 }
 
+fn component_cells() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("engine.component_cells"))
+}
+
 /// Counts a memo-cache hit, attributing it to the persistent cache when
 /// the key was seeded from disk.
 fn count_hit(key: &CacheKey) {
@@ -132,6 +141,9 @@ pub struct EngineStats {
     /// Simulated cells that ran through the sharded parallel pipeline
     /// instead of a sequential fold.
     pub sharded_cells: u64,
+    /// Simulated cells that ran through the component-parallel hybrid
+    /// pipeline ([`crate::component`]) instead of a sequential fold.
+    pub component_cells: u64,
 }
 
 impl EngineStats {
@@ -144,6 +156,7 @@ impl EngineStats {
             persistent_hits: self.persistent_hits - earlier.persistent_hits,
             simulated_events: self.simulated_events - earlier.simulated_events,
             sharded_cells: self.sharded_cells - earlier.sharded_cells,
+            component_cells: self.component_cells - earlier.component_cells,
         }
     }
 }
@@ -158,6 +171,7 @@ pub fn stats() -> EngineStats {
         persistent_hits: persistent_hits().get(),
         simulated_events: simulated_events().get(),
         sharded_cells: sharded_cells().get(),
+        component_cells: component_cells().get(),
     }
 }
 
@@ -193,6 +207,7 @@ pub fn clear_memo_cache() {
 struct Job<'a> {
     key: String,
     routing: Option<ShardRouting>,
+    decomposition: Option<Decomposition>,
     make: Box<dyn Fn() -> Box<dyn Predictor> + Sync + 'a>,
 }
 
@@ -232,9 +247,11 @@ impl<'a> Sweep<'a> {
     pub fn config(&mut self, cfg: PredictorConfig) -> &mut Self {
         let key = cfg.cache_key();
         let routing = cfg.shardable();
+        let decomposition = cfg.decompose();
         self.jobs.push(Job {
             key,
             routing,
+            decomposition,
             make: Box::new(move || cfg.build()),
         });
         self
@@ -253,8 +270,9 @@ impl<'a> Sweep<'a> {
         self.jobs.push(Job {
             key: key.into(),
             // Custom predictors carry no config to analyse, so they never
-            // shard — correctness first.
+            // shard or decompose — correctness first.
             routing: None,
+            decomposition: None,
             make: Box::new(make),
         });
         self
@@ -318,6 +336,10 @@ impl<'a> Sweep<'a> {
             if budget > 1 {
                 obs::event!("shard_schedule", mode = "materialized", tasks = units.len(), budget = budget);
             }
+            let cbudget = component::component_budget(units.len());
+            if cbudget > 1 {
+                obs::event!("component_schedule", mode = "materialized", tasks = units.len(), budget = cbudget);
+            }
             parallel_map(&units, |&(j, bi)| {
                 let b = benchmarks[bi];
                 // Queue wait: time from sweep start until a worker picked
@@ -329,23 +351,35 @@ impl<'a> Sweep<'a> {
                 cell.note("outcome", "miss");
                 cell.note("wait_us", wait_us);
                 let trace = self.suite.trace(b);
-                let stats = match self.jobs[j].routing.filter(|_| budget > 1) {
-                    Some(routing) => {
-                        cell.note("shards", budget);
-                        sharded_cells().incr();
-                        shard::simulate_source_sharded(
-                            &mut trace.cursor(),
-                            self.jobs[j].make.as_ref(),
-                            routing,
-                            budget,
-                            self.warmup,
-                        )
-                        .expect("in-memory source cannot fail")
-                    }
-                    None => {
-                        let mut p = (self.jobs[j].make)();
-                        simulate_warm(trace, p.as_mut(), self.warmup)
-                    }
+                // Scheduling priority per cell: site-shard (cheapest
+                // per-worker state) beats component-fold, which beats the
+                // sequential fold.
+                let stats = if let Some(routing) = self.jobs[j].routing.filter(|_| budget > 1) {
+                    cell.note("shards", budget);
+                    sharded_cells().incr();
+                    shard::simulate_source_sharded(
+                        &mut trace.cursor(),
+                        self.jobs[j].make.as_ref(),
+                        routing,
+                        budget,
+                        self.warmup,
+                    )
+                    .expect("in-memory source cannot fail")
+                } else if let Some(d) =
+                    self.jobs[j].decomposition.as_ref().filter(|_| cbudget > 1)
+                {
+                    cell.note("components", 2_u64);
+                    component_cells().incr();
+                    component::simulate_source_components(
+                        &mut trace.cursor(),
+                        d,
+                        cbudget,
+                        self.warmup,
+                    )
+                    .expect("in-memory source cannot fail")
+                } else {
+                    let mut p = (self.jobs[j].make)();
+                    simulate_warm(trace, p.as_mut(), self.warmup)
                 };
                 cell.note("events", trace.indirect_count());
                 simulated_events().add(trace.indirect_count());
@@ -440,9 +474,19 @@ impl<'a> Sweep<'a> {
         let budget = shard::shard_budget(groups.len());
         if budget > 1 {
             obs::event!("shard_schedule", mode = "streamed", tasks = groups.len(), budget = budget);
+        }
+        let cbudget = component::component_budget(groups.len());
+        if cbudget > 1 {
+            obs::event!("component_schedule", mode = "streamed", tasks = groups.len(), budget = cbudget);
+        }
+        // Split by the larger of the two grants so sub-groups can shrink
+        // to singletons — the only shape the sharded and component
+        // pipelines accept.
+        let fanout = budget.max(cbudget);
+        if fanout > 1 {
             let mut split: Vec<(usize, Vec<usize>)> = Vec::new();
             for (bi, members) in groups {
-                let pieces = budget.min(members.len());
+                let pieces = fanout.min(members.len());
                 let base = members.len() / pieces;
                 let extra = members.len() % pieces;
                 let mut start = 0;
@@ -467,19 +511,34 @@ impl<'a> Sweep<'a> {
             // shared: each cell still scores one trace length of events.
             simulated_events().add(self.suite.events() * members.len() as u64);
             cell.note("events", self.suite.events());
-            if budget > 1 && members.len() == 1 {
+            if members.len() == 1 {
                 let job = &self.jobs[units[members[0]].0];
-                if let Some(routing) = job.routing {
-                    cell.note("shards", budget);
-                    sharded_cells().incr();
-                    return vec![shard::simulate_source_sharded(
-                        &mut *source,
-                        job.make.as_ref(),
-                        routing,
-                        budget,
-                        self.warmup,
-                    )
-                    .expect("suite sources cannot fail")];
+                if budget > 1 {
+                    if let Some(routing) = job.routing {
+                        cell.note("shards", budget);
+                        sharded_cells().incr();
+                        return vec![shard::simulate_source_sharded(
+                            &mut *source,
+                            job.make.as_ref(),
+                            routing,
+                            budget,
+                            self.warmup,
+                        )
+                        .expect("suite sources cannot fail")];
+                    }
+                }
+                if cbudget > 1 {
+                    if let Some(d) = job.decomposition.as_ref() {
+                        cell.note("components", 2_u64);
+                        component_cells().incr();
+                        return vec![component::simulate_source_components(
+                            &mut *source,
+                            d,
+                            cbudget,
+                            self.warmup,
+                        )
+                        .expect("suite sources cannot fail")];
+                    }
                 }
             }
             let mut predictors: Vec<Box<dyn Predictor>> = members

@@ -16,6 +16,11 @@
 //! * [`shard`] — the chunk-parallel sharded pipeline: site-partitionable
 //!   configurations ([`ibp_core::PredictorConfig::shardable`]) fold one
 //!   run across several workers with byte-identical results;
+//! * [`component`] — the component-parallel fold for hybrids
+//!   ([`ibp_core::PredictorConfig::decompose`]), which bounded tables
+//!   keep out of the sharded pipeline: one shared source pass broadcast
+//!   to per-component workers, merged through the metapredictor with
+//!   byte-identical results;
 //! * [`report`] — plain-text and CSV rendering of result tables;
 //! * [`experiments`] — one runner per figure/table of the paper (the
 //!   `ibp-bench` binaries are thin wrappers over these).
@@ -39,6 +44,7 @@
 
 pub mod analysis;
 mod cache;
+pub mod component;
 pub mod engine;
 pub mod experiments;
 mod parallel;

@@ -108,7 +108,7 @@ pub fn shard_policy() -> ShardPolicy {
         .unwrap_or_else(env_policy)
 }
 
-fn threads_available() -> usize {
+pub(crate) fn threads_available() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -119,26 +119,110 @@ fn threads_available() -> usize {
 /// `Fixed(n)` always grants `n`. `Auto` grants extra workers only when the
 /// queue is tail-heavy — fewer tasks than threads, so cores would
 /// otherwise idle while the stragglers finish — and caps the grant at 8
-/// (diminishing returns: the router becomes the bottleneck). `Off` and a
-/// saturated queue grant 1 (sequential).
+/// (diminishing returns: the router becomes the bottleneck). When a
+/// journal from a prior run is on disk, the grant is sized by the
+/// *observed* cell-duration tail (p95/mean — the same figures
+/// `obs_report --sharding` prints) instead of queue depth alone; see
+/// [`auto_budget`]. `Off` and a saturated queue grant 1 (sequential).
 #[must_use]
 pub fn shard_budget(tasks: usize) -> usize {
     let budget = match shard_policy() {
         ShardPolicy::Off => 1,
         ShardPolicy::Fixed(n) => n.max(1),
-        ShardPolicy::Auto => {
-            let threads = threads_available();
-            if tasks == 0 || tasks >= threads {
-                1
-            } else {
-                (threads / tasks).clamp(1, 8)
-            }
-        }
+        ShardPolicy::Auto => auto_budget(tasks, threads_available(), observed_tail_ratio()),
     };
     if budget > 1 {
         obs::debug!("[shard] budget: {tasks} tasks -> {budget} shards each");
     }
     budget
+}
+
+/// The `auto` grant for `tasks` remaining cells on `threads` cores, given
+/// the cell-duration tail ratio (p95/mean) observed in a prior run's
+/// journal, when one exists.
+///
+/// A saturated queue (`tasks >= threads`) never fans out — every core
+/// already has a cell. On a tail-heavy queue the depth heuristic spreads
+/// idle cores evenly (`threads / tasks`); with variance data the grant is
+/// raised to the observed ratio, because a p95 straggler runs `ratio`×
+/// the mean cell and needs that many workers to finish in roughly mean
+/// time. Both are capped by the pool size and by 8 (the router becomes
+/// the bottleneck beyond that).
+fn auto_budget(tasks: usize, threads: usize, tail_ratio: Option<f64>) -> usize {
+    if tasks == 0 || tasks >= threads {
+        return 1;
+    }
+    let depth = (threads / tasks).clamp(1, 8);
+    match tail_ratio {
+        Some(ratio) if ratio.is_finite() && ratio >= 1.0 => {
+            let boost = (ratio.ceil() as usize).min(threads).min(8);
+            depth.max(boost)
+        }
+        _ => depth,
+    }
+}
+
+/// The cell-duration tail ratio (p95/mean) from the most recent prior-run
+/// journal under `$IBP_RESULTS/journal`, loaded once per process. The
+/// active journal (if tracing is on) is excluded — it describes *this*
+/// run, which is still in flight.
+fn observed_tail_ratio() -> Option<f64> {
+    static RATIO: OnceLock<Option<f64>> = OnceLock::new();
+    *RATIO.get_or_init(|| {
+        let path = latest_prior_journal()?;
+        let records = obs::read_journal(&path).ok()?;
+        let mut durs: Vec<u64> = records
+            .iter()
+            .filter(|r| r.kind == obs::journal::Kind::Span && r.name == "cell")
+            .filter_map(|r| r.dur_us)
+            .collect();
+        let ratio = tail_ratio(&mut durs)?;
+        obs::debug!(
+            "[shard] prior journal {}: cell tail p95/mean = {ratio:.2}",
+            path.display()
+        );
+        Some(ratio)
+    })
+}
+
+fn latest_prior_journal() -> Option<std::path::PathBuf> {
+    let dir = std::path::PathBuf::from(
+        std::env::var("IBP_RESULTS").unwrap_or_else(|_| "results".into()),
+    )
+    .join("journal");
+    let active = obs::journal::path();
+    let mut newest: Option<(std::time::SystemTime, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        if Some(&path) == active.as_ref() {
+            continue;
+        }
+        let Ok(modified) = entry.metadata().and_then(|m| m.modified()) else {
+            continue;
+        };
+        if newest.as_ref().is_none_or(|(t, _)| modified > *t) {
+            newest = Some((modified, path));
+        }
+    }
+    newest.map(|(_, path)| path)
+}
+
+/// p95/mean of a duration sample. `None` below 8 cells — too little
+/// signal to outweigh the depth heuristic.
+fn tail_ratio(durs: &mut [u64]) -> Option<f64> {
+    if durs.len() < 8 {
+        return None;
+    }
+    durs.sort_unstable();
+    let mean = durs.iter().sum::<u64>() as f64 / durs.len() as f64;
+    if mean <= 0.0 {
+        return None;
+    }
+    let p95 = durs[(durs.len() - 1) * 95 / 100] as f64;
+    Some(p95 / mean)
 }
 
 fn runs_counter() -> &'static Arc<Counter> {
@@ -176,28 +260,30 @@ struct Batch {
     warmup: u64,
 }
 
-/// Batches the router may buffer per shard before blocking. Bounds memory
-/// and keeps the router from racing arbitrarily far ahead of a slow shard.
-const QUEUE_CAPACITY: usize = 4;
+/// Items the producer may buffer per queue before blocking. Bounds memory
+/// and keeps a router from racing arbitrarily far ahead of a slow worker.
+pub(crate) const QUEUE_CAPACITY: usize = 4;
 
-/// A bounded single-producer single-consumer batch queue (one per shard;
-/// the router produces, the shard worker consumes).
-struct SpscQueue {
-    state: Mutex<QueueState>,
+/// A bounded single-producer single-consumer queue. The sharded pipeline
+/// runs one per shard (router produces batches, shard worker consumes);
+/// the component pipeline (`crate::component`) reuses it for chunk
+/// broadcast and record return.
+pub(crate) struct SpscQueue<T> {
+    state: Mutex<QueueState<T>>,
     ready: Condvar,
     space: Condvar,
 }
 
-struct QueueState {
-    batches: VecDeque<Batch>,
+struct QueueState<T> {
+    items: VecDeque<T>,
     closed: bool,
 }
 
-impl SpscQueue {
-    fn new() -> Self {
+impl<T> SpscQueue<T> {
+    pub(crate) fn new() -> Self {
         SpscQueue {
             state: Mutex::new(QueueState {
-                batches: VecDeque::with_capacity(QUEUE_CAPACITY),
+                items: VecDeque::with_capacity(QUEUE_CAPACITY),
                 closed: false,
             }),
             ready: Condvar::new(),
@@ -206,36 +292,36 @@ impl SpscQueue {
     }
 
     /// Blocks while the queue is full. Pushing after `close` drops the
-    /// batch (the consumer is gone; only the error path does this).
-    fn push(&self, batch: Batch) {
-        let mut state = self.state.lock().expect("shard queue poisoned");
-        while state.batches.len() >= QUEUE_CAPACITY && !state.closed {
-            state = self.space.wait(state).expect("shard queue poisoned");
+    /// item (the consumer is gone; only the error path does this).
+    pub(crate) fn push(&self, item: T) {
+        let mut state = self.state.lock().expect("pipeline queue poisoned");
+        while state.items.len() >= QUEUE_CAPACITY && !state.closed {
+            state = self.space.wait(state).expect("pipeline queue poisoned");
         }
         if !state.closed {
-            state.batches.push_back(batch);
+            state.items.push_back(item);
             self.ready.notify_one();
         }
     }
 
-    /// Blocks until a batch arrives; `None` once the queue is closed and
+    /// Blocks until an item arrives; `None` once the queue is closed and
     /// drained.
-    fn pop(&self) -> Option<Batch> {
-        let mut state = self.state.lock().expect("shard queue poisoned");
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("pipeline queue poisoned");
         loop {
-            if let Some(batch) = state.batches.pop_front() {
+            if let Some(item) = state.items.pop_front() {
                 self.space.notify_one();
-                return Some(batch);
+                return Some(item);
             }
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).expect("shard queue poisoned");
+            state = self.ready.wait(state).expect("pipeline queue poisoned");
         }
     }
 
-    fn close(&self) {
-        let mut state = self.state.lock().expect("shard queue poisoned");
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("pipeline queue poisoned");
         state.closed = true;
         self.ready.notify_all();
         self.space.notify_all();
@@ -274,7 +360,7 @@ fn fold_batch(batch: &Batch, predictor: &mut dyn Predictor, stats: &mut RunStats
 fn route_events<S: EventSource + ?Sized>(
     source: &mut S,
     routing: ShardRouting,
-    queues: &[SpscQueue],
+    queues: &[SpscQueue<Batch>],
     warmup: u64,
 ) -> Result<u64, TraceIoError> {
     let shards = queues.len();
@@ -349,7 +435,7 @@ pub fn simulate_source_sharded<S: EventSource + ?Sized>(
         exponent = routing.exponent()
     );
     runs_counter().incr();
-    let queues: Vec<SpscQueue> = (0..shards).map(|_| SpscQueue::new()).collect();
+    let queues: Vec<SpscQueue<Batch>> = (0..shards).map(|_| SpscQueue::new()).collect();
     let (routed, per_shard) = std::thread::scope(|scope| {
         let handles: Vec<_> = queues
             .iter()
@@ -522,5 +608,41 @@ mod tests {
         // A single straggler gets the whole pool (capped at 8).
         assert_eq!(shard_budget(1), threads.clamp(1, 8));
         override_policy(None);
+    }
+
+    #[test]
+    fn auto_budget_scales_with_observed_tail() {
+        // No journal: the depth heuristic. 16 threads / 5 tasks -> 3.
+        assert_eq!(auto_budget(5, 16, None), 3);
+        // A heavier observed tail than the depth grant raises it: a p95
+        // straggler at 6x the mean gets 6 workers.
+        assert_eq!(auto_budget(5, 16, Some(6.3)), 7);
+        assert_eq!(auto_budget(5, 16, Some(5.2)), 6);
+        // ...capped by the pool and by 8.
+        assert_eq!(auto_budget(3, 4, Some(40.0)), 4);
+        assert_eq!(auto_budget(5, 16, Some(40.0)), 8);
+        // A flat tail (ratio ~ 1) leaves the depth heuristic in charge.
+        assert_eq!(auto_budget(5, 16, Some(1.0)), 3);
+        // Degenerate ratios are ignored, and a saturated queue never
+        // fans out no matter what the journal says.
+        assert_eq!(auto_budget(5, 16, Some(f64::NAN)), 3);
+        assert_eq!(auto_budget(16, 16, Some(6.0)), 1);
+        assert_eq!(auto_budget(0, 16, Some(6.0)), 1);
+    }
+
+    #[test]
+    fn tail_ratio_needs_a_sample_and_measures_p95_over_mean() {
+        // Too few cells: no signal.
+        assert_eq!(tail_ratio(&mut vec![100; 7]), None);
+        assert_eq!(tail_ratio(&mut Vec::new()), None);
+        // Flat cells: ratio 1.
+        let flat = tail_ratio(&mut vec![100; 20]).expect("enough cells");
+        assert!((flat - 1.0).abs() < 1e-9);
+        // 18 cells at 100us plus two 2000us stragglers: p95 lands on a
+        // straggler, the mean stays near 100us.
+        let mut durs: Vec<u64> = vec![100; 18];
+        durs.extend([2_000, 2_000]);
+        let heavy = tail_ratio(&mut durs).expect("enough cells");
+        assert!(heavy > 5.0, "p95/mean = {heavy}");
     }
 }

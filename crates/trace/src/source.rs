@@ -87,6 +87,13 @@ impl TraceChunk {
         &self.events
     }
 
+    /// Iterates over only the indirect-branch events, in order. Merge
+    /// folds that pair a broadcast chunk with per-component prediction
+    /// records (one record per indirect event) walk this.
+    pub fn indirect(&self) -> impl Iterator<Item = &IndirectBranch> {
+        self.events.iter().filter_map(TraceEvent::as_indirect)
+    }
+
     /// Whether the chunk carries neither events nor counters.
     #[must_use]
     pub fn is_empty(&self) -> bool {

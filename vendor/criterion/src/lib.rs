@@ -120,8 +120,14 @@ type Sample = (Duration, Duration, u64);
 /// Drops samples whose per-iteration time exceeds median + 3·MAD (median
 /// absolute deviation) — outliers only ever slow a sample down, so the
 /// rejection is one-sided. Returns how many were dropped. Needs at least
-/// three samples and a non-zero MAD to act (a zero MAD means the timings
-/// agree to the clock's resolution; rejecting on it would halve the set).
+/// three samples to act.
+///
+/// A zero MAD means more than half the timings agree to the clock's
+/// resolution; a MAD cutoff would then reject everything above the
+/// median, halving the set. Instead we fall back to a one-sided Tukey
+/// fence, `q3 + 1.5·IQR`: on an all-identical set that cutoff *is* the
+/// common value and nothing drops, while a straggler above a flat bulk
+/// still lands past the fence and is rejected.
 fn reject_outliers(measured: &mut Vec<Sample>) -> usize {
     if measured.len() < 3 {
         return 0;
@@ -132,10 +138,14 @@ fn reject_outliers(measured: &mut Vec<Sample>) -> usize {
     let mut dev: Vec<Duration> = per.iter().map(|&p| p.abs_diff(median)).collect();
     dev.sort_unstable();
     let mad = dev[dev.len() / 2];
-    if mad.is_zero() {
-        return 0;
-    }
-    let cutoff = median.saturating_add(mad.saturating_mul(3));
+    let cutoff = if mad.is_zero() {
+        let q1 = per[per.len() / 4];
+        let q3 = per[per.len() * 3 / 4];
+        let iqr = q3.abs_diff(q1);
+        q3.saturating_add(iqr.saturating_mul(3) / 2)
+    } else {
+        median.saturating_add(mad.saturating_mul(3))
+    };
     let before = measured.len();
     measured.retain(|m| m.0 <= cutoff);
     before - measured.len()
@@ -336,6 +346,27 @@ mod tests {
         // Two samples: too few to call either an outlier.
         let mut two: Vec<Sample> = vec![(ms(1), ms(1), 1), (ms(60), ms(60), 1)];
         assert_eq!(reject_outliers(&mut two), 0);
+    }
+
+    #[test]
+    fn zero_mad_falls_back_to_iqr_fence() {
+        let ms = Duration::from_millis;
+        // Most samples agree to the clock's resolution (MAD = 0), but a
+        // 100ms straggler still has to go: the IQR fence catches it.
+        let mut measured: Vec<Sample> = [10, 10, 10, 10, 10, 12, 13, 100]
+            .iter()
+            .map(|&m| (ms(m), ms(m), 1))
+            .collect();
+        assert_eq!(reject_outliers(&mut measured), 1);
+        assert_eq!(measured.len(), 7);
+        assert!(measured.iter().all(|m| m.0 <= ms(13)));
+        // Even with a fully flat bulk (IQR = 0) the fence sits at the
+        // common value, so the straggler drops and the bulk survives.
+        let mut spiked: Vec<Sample> =
+            [7, 7, 7, 7, 7, 7, 7, 7, 7, 90].iter().map(|&m| (ms(m), ms(m), 1)).collect();
+        assert_eq!(reject_outliers(&mut spiked), 1);
+        assert_eq!(spiked.len(), 9);
+        assert!(spiked.iter().all(|m| m.0 == ms(7)));
     }
 
     #[test]
