@@ -3,7 +3,7 @@
 //! (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
 //! ```text
-//! obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>] [--sharding]
+//! obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>] [--sharding] [--internals]
 //! ```
 //!
 //! The summary covers where a run's time went: per-experiment wall time and
@@ -12,20 +12,27 @@
 //! final metrics-registry snapshot. `--sharding` adds the chunk-parallel
 //! pipeline's per-shard occupancy and event skew, the component-parallel
 //! hybrid pipeline's per-component occupancy, plus a quantification of
-//! how tail-heavy the cell queue was.
+//! how tail-heavy the cell queue was. `--internals` renders the
+//! `IBP_PROBE` probe records: per-run occupancy/eviction/conflict tables,
+//! selector-usage breakdowns for hybrids, miss attribution and the
+//! aliasing-heaviest sites.
+//!
+//! Corrupt journal lines are skipped with a warning (the footer counts
+//! them), so a truncated journal from a crashed run still renders.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ibp_obs::json::Json;
-use ibp_obs::{read_journal, Kind, Record};
+use ibp_obs::{read_journal_counting, Kind, Record};
 
 struct Options {
     journal: PathBuf,
     chrome: Option<PathBuf>,
     top: usize,
     sharding: bool,
+    internals: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,9 +41,11 @@ fn parse_args() -> Result<Options, String> {
     let mut chrome = None;
     let mut top = 10usize;
     let mut sharding = false;
+    let mut internals = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sharding" => sharding = true,
+            "--internals" => internals = true,
             "--chrome" => {
                 chrome = Some(PathBuf::from(
                     args.next().ok_or("--chrome needs a path".to_string())?,
@@ -60,6 +69,7 @@ fn parse_args() -> Result<Options, String> {
         chrome,
         top,
         sharding,
+        internals,
     })
 }
 
@@ -375,6 +385,170 @@ fn print_sharding(records: &[Record]) {
     );
 }
 
+/// Sums one numeric key over a probe record's `components` array.
+fn probe_total(r: &Record, key: &str) -> u64 {
+    r.field("components").and_then(Json::as_arr).map_or(0, |cs| {
+        cs.iter()
+            .filter_map(|c| c.get(key).and_then(Json::as_u64))
+            .sum()
+    })
+}
+
+/// The `--internals` section: what `IBP_PROBE` sampled. One row per
+/// predictor component of every probed run's end-of-run snapshot, then
+/// selector usage for hybrids, miss attribution, and the aliasing-heaviest
+/// sites across the whole journal. Probe-free journals degrade to a hint.
+fn print_internals(records: &[Record], top: usize) {
+    let probes: Vec<&Record> = records.iter().filter(|r| r.kind == Kind::Probe).collect();
+    if probes.is_empty() {
+        println!("internals: no probe records in journal (run with IBP_PROBE=1 or deep)\n");
+        return;
+    }
+    // The last end-point record per (trace, predictor) run — re-runs of
+    // the same cell overwrite, mirroring how the engine would re-simulate.
+    let mut ends: BTreeMap<(String, String), &Record> = BTreeMap::new();
+    for r in &probes {
+        if r.field_str("point") == Some("end") {
+            let key = (
+                r.field_str("trace").unwrap_or("?").to_string(),
+                r.name.clone(),
+            );
+            ends.insert(key, r);
+        }
+    }
+    println!(
+        "predictor internals ({} probe records, {} probed runs):",
+        probes.len(),
+        ends.len()
+    );
+    println!(
+        "  {:<10} {:<34} {:<30} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "trace", "predictor", "component", "occupied", "capacity", "evict", "tagconf", "entropy"
+    );
+    for ((trace, name), r) in &ends {
+        let Some(comps) = r.field("components").and_then(Json::as_arr) else {
+            continue;
+        };
+        for c in comps {
+            let capacity = c
+                .get("capacity")
+                .and_then(Json::as_u64)
+                .map_or("unbnd".to_string(), |v| v.to_string());
+            let entropy = c
+                .get("history")
+                .and_then(|h| h.get("entropy_millibits"))
+                .and_then(Json::as_u64)
+                .map_or("-".to_string(), |mb| format!("{:.2}b", mb as f64 / 1000.0));
+            println!(
+                "  {:<10} {:<34} {:<30} {:>9} {:>9} {:>9} {:>8} {:>8}",
+                trace,
+                name,
+                c.get("label").and_then(Json::as_str).unwrap_or("?"),
+                c.get("occupied").and_then(Json::as_u64).unwrap_or(0),
+                capacity,
+                c.get("evictions").and_then(Json::as_u64).unwrap_or(0),
+                c.get("tag_conflicts").and_then(Json::as_u64).unwrap_or(0),
+                entropy,
+            );
+        }
+    }
+    println!();
+
+    let hybrids: Vec<(&(String, String), &[Json])> = ends
+        .iter()
+        .filter_map(|(k, r)| {
+            r.field("selectors")
+                .and_then(Json::as_arr)
+                .filter(|a| !a.is_empty())
+                .map(|a| (k, a))
+        })
+        .collect();
+    if hybrids.is_empty() {
+        println!("selector usage: no hybrid selector histograms recorded\n");
+    } else {
+        println!("selector usage (BPST selector-counter value -> sites):");
+        for ((trace, name), hist) in hybrids {
+            let counts: Vec<u64> = hist.iter().filter_map(Json::as_u64).collect();
+            let total: u64 = counts.iter().sum();
+            let cells: Vec<String> = counts
+                .iter()
+                .enumerate()
+                .map(|(v, c)| format!("{v}: {c}"))
+                .collect();
+            println!("  {trace:<10} {name:<34} [{}] ({total} sites)", cells.join(", "));
+        }
+        println!();
+    }
+
+    let attributed: Vec<(&(String, String), &Json)> = ends
+        .iter()
+        .filter_map(|(k, r)| r.field("attribution").map(|a| (k, a)))
+        .collect();
+    if attributed.is_empty() {
+        println!("miss attribution: none recorded\n");
+    } else {
+        println!("miss attribution (scored events):");
+        println!(
+            "  {:<10} {:<34} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            "trace", "predictor", "hits", "wrong", "noentry", "cold", "capacity", "miss%"
+        );
+        for ((trace, name), a) in attributed {
+            let get = |k: &str| a.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let (hits, wrong, no_entry) = (get("hits"), get("wrong_target"), get("no_entry"));
+            let scored = hits + wrong + no_entry;
+            let miss_pct = if scored > 0 {
+                100.0 * (wrong + no_entry) as f64 / scored as f64
+            } else {
+                0.0
+            };
+            println!(
+                "  {:<10} {:<34} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.1}%",
+                trace,
+                name,
+                hits,
+                wrong,
+                no_entry,
+                get("cold"),
+                get("capacity"),
+                miss_pct,
+            );
+        }
+        println!();
+    }
+
+    // Aliasing-heavy sites, aggregated across all probed runs: the same
+    // pc missing under several predictors floats to the top.
+    let mut sites: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for r in ends.values() {
+        let Some(tops) = r.field("top_sites").and_then(Json::as_arr) else {
+            continue;
+        };
+        for s in tops {
+            let Some(pc) = s.get("pc").and_then(Json::as_str) else {
+                continue;
+            };
+            let e = sites.entry(pc.to_string()).or_default();
+            e.0 += s.get("wrong_target").and_then(Json::as_u64).unwrap_or(0);
+            e.1 += s.get("no_entry").and_then(Json::as_u64).unwrap_or(0);
+        }
+    }
+    if sites.is_empty() {
+        println!("aliasing sites: none recorded\n");
+    } else {
+        let mut ranked: Vec<(String, (u64, u64))> = sites.into_iter().collect();
+        ranked.sort_by(|a, b| (b.1 .0 + b.1 .1).cmp(&(a.1 .0 + a.1 .1)).then(a.0.cmp(&b.0)));
+        println!("top {} aliasing-heavy sites (summed over probed runs):", top.min(ranked.len()));
+        println!("  {:<12} {:>12} {:>12} {:>12}", "pc", "wrong", "noentry", "total");
+        for (pc, (wrong, no_entry)) in ranked.into_iter().take(top) {
+            println!(
+                "  {pc:<12} {wrong:>12} {no_entry:>12} {:>12}",
+                wrong + no_entry
+            );
+        }
+        println!();
+    }
+}
+
 fn print_metrics(records: &[Record]) {
     let Some(snap) = records.iter().rev().find(|r| r.kind == Kind::Metrics) else {
         println!("metrics: no snapshot in journal (run did not call flush)\n");
@@ -438,6 +612,43 @@ fn chrome_trace(records: &[Record]) -> Json {
         ),
     ]));
     for r in records {
+        // Probe records become counter tracks ("C" phase): one occupancy /
+        // eviction / conflict sample per snapshot point, plotted over the
+        // run in Perfetto alongside the spans that produced them.
+        if r.kind == Kind::Probe {
+            events.push(Json::Obj(vec![
+                (
+                    "name".to_string(),
+                    Json::Str(format!(
+                        "probe {} @ {}",
+                        r.name,
+                        r.field_str("trace").unwrap_or("?")
+                    )),
+                ),
+                ("ph".to_string(), Json::Str("C".to_string())),
+                ("ts".to_string(), Json::Num(r.ts_us as f64)),
+                ("pid".to_string(), Json::Num(1.0)),
+                ("tid".to_string(), Json::Num(r.tid as f64)),
+                (
+                    "args".to_string(),
+                    Json::Obj(vec![
+                        (
+                            "occupied".to_string(),
+                            Json::Num(probe_total(r, "occupied") as f64),
+                        ),
+                        (
+                            "evictions".to_string(),
+                            Json::Num(probe_total(r, "evictions") as f64),
+                        ),
+                        (
+                            "tag_conflicts".to_string(),
+                            Json::Num(probe_total(r, "tag_conflicts") as f64),
+                        ),
+                    ]),
+                ),
+            ]));
+            continue;
+        }
         let (ph, extra): (&str, Vec<(String, Json)>) = match r.kind {
             Kind::Span => (
                 "X",
@@ -447,7 +658,7 @@ fn chrome_trace(records: &[Record]) -> Json {
                 )],
             ),
             Kind::Event | Kind::Log => ("i", vec![("s".to_string(), Json::Str("t".to_string()))]),
-            Kind::Meta | Kind::Metrics => continue,
+            Kind::Meta | Kind::Metrics | Kind::Probe => continue,
         };
         let name = if r.kind == Kind::Log {
             r.field_str("msg").unwrap_or("log").to_string()
@@ -471,7 +682,8 @@ fn chrome_trace(records: &[Record]) -> Json {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
-    let records = read_journal(&opts.journal).map_err(|e| e.to_string())?;
+    let (records, bad_lines) =
+        read_journal_counting(&opts.journal).map_err(|e| e.to_string())?;
     if records.is_empty() {
         return Err(format!("{}: empty journal", opts.journal.display()));
     }
@@ -502,7 +714,11 @@ fn run(opts: &Options) -> Result<(), String> {
     if opts.sharding {
         print_sharding(&records);
     }
+    if opts.internals {
+        print_internals(&records, opts.top);
+    }
     print_metrics(&records);
+    println!("journal.bad_lines = {bad_lines}");
 
     if let Some(out) = &opts.chrome {
         let trace = chrome_trace(&records);
@@ -524,7 +740,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>] [--sharding]"
+                "usage: obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>] \
+                 [--sharding] [--internals]"
             );
             return ExitCode::from(2);
         }
@@ -563,6 +780,25 @@ mod tests {
         // Output must itself be parseable JSON.
         let parsed = ibp_obs::json::parse(&doc.to_string()).expect("valid json");
         assert!(parsed.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn chrome_trace_makes_probe_counter_tracks() {
+        let probe = Record::parse(
+            r#"{"t":"probe","name":"hybrid","ts":7,"tid":1,"f":{"trace":"ixx","point":"end","components":[{"label":"a","occupied":5,"evictions":2,"tag_conflicts":1},{"label":"b","occupied":3,"evictions":0,"tag_conflicts":0}],"selectors":[]}}"#,
+        )
+        .unwrap();
+        let doc = chrome_trace(&[probe]);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
+        assert_eq!(events.len(), 2);
+        let counter = &events[1];
+        assert_eq!(counter.get("ph").and_then(Json::as_str), Some("C"));
+        let args = counter.get("args").expect("args");
+        assert_eq!(args.get("occupied").and_then(Json::as_u64), Some(8));
+        assert_eq!(args.get("evictions").and_then(Json::as_u64), Some(2));
     }
 
     #[test]

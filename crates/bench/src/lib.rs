@@ -31,6 +31,11 @@
 //! * `IBP_TRACE` — JSONL run journal: `1` writes
 //!   `results/journal/<run-id>.jsonl`, any other value is used as the
 //!   journal path. Render it with the `obs_report` binary.
+//! * `IBP_PROBE` — predictor-internals probes in the journal: `0` (the
+//!   default) off, `1` samples occupancy/aliasing snapshots and per-site
+//!   miss attribution per run, `deep` adds interval samples and the
+//!   cold/capacity split. Needs `IBP_TRACE`; result tables stay
+//!   byte-identical either way.
 //!
 //! The README's "Environment knobs" table is the authoritative list; keep
 //! the two in sync.

@@ -5,6 +5,7 @@ use ibp_trace::Addr;
 use crate::history::HistorySharing;
 use crate::key::CompressedKeySpec;
 use crate::predictor::{Predictor, UpdateRule};
+use crate::snapshot::{Snapshot, StructuralSnapshot};
 use crate::table::TableHit;
 use crate::two_level::TwoLevelPredictor;
 
@@ -110,6 +111,20 @@ impl Predictor for Btb {
 
     fn storage_entries(&self) -> Option<usize> {
         self.inner.storage_entries()
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.inner.structural_snapshot())
+    }
+
+    fn probe_key_fingerprint(&self, pc: Addr) -> Option<u64> {
+        self.inner.probe_key_fingerprint(pc)
+    }
+}
+
+impl StructuralSnapshot for Btb {
+    fn structural_snapshot(&self) -> Snapshot {
+        self.inner.structural_snapshot()
     }
 }
 

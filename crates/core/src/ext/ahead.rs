@@ -14,6 +14,7 @@ use crate::history::{HistoryRegister, MAX_PATH};
 use crate::interleave::Interleaving;
 use crate::pattern::PatternCompressor;
 use crate::predictor::{Predictor, UpdateRule};
+use crate::snapshot::{ComponentSnapshot, Snapshot, StructuralSnapshot, TableSnapshot};
 use crate::table::Slot;
 
 /// Stable mixing for the anchor address, so that structurally related
@@ -203,6 +204,42 @@ impl Predictor for AheadPredictor {
 
     fn name(&self) -> String {
         format!("ahead p={} (next-branch + target)", self.path_len)
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.structural_snapshot())
+    }
+
+    fn probe_key_fingerprint(&self, pc: Addr) -> Option<u64> {
+        // The ahead key ignores the queried pc (it anchors on the *last*
+        // branch), so the fingerprint is the key the next update will use.
+        let _ = pc;
+        Some(self.key_of(&self.history, self.last_pc))
+    }
+}
+
+impl StructuralSnapshot for AheadPredictor {
+    fn structural_snapshot(&self) -> Snapshot {
+        // Target slots carry 2-bit confidence (see `update`).
+        let mut confidence = vec![0u64; 4];
+        for e in self.table.values() {
+            confidence[e.target.hit().confidence as usize] += 1;
+        }
+        Snapshot {
+            components: vec![ComponentSnapshot {
+                label: format!("p={} ahead unbounded", self.path_len),
+                table: TableSnapshot {
+                    occupied: self.table.len() as u64,
+                    capacity: None,
+                    evictions: 0,
+                    tag_conflicts: 0,
+                    confidence,
+                    lru_depths: Vec::new(),
+                },
+                history: None,
+            }],
+            selectors: Vec::new(),
+        }
     }
 }
 

@@ -22,6 +22,9 @@ use crate::btb::Btb;
 use crate::counter::SaturatingCounter;
 use crate::history::{HistoryRegister, MAX_PATH};
 use crate::predictor::{Predictor, UpdateRule};
+use crate::snapshot::{
+    probe_counters_on, ComponentSnapshot, Snapshot, StructuralSnapshot, TableSnapshot,
+};
 
 fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -41,6 +44,8 @@ struct TaggedEntry {
 struct TaggedTable {
     history_len: usize,
     entries: Vec<Option<TaggedEntry>>,
+    /// Probe-gated: live entries overwritten by allocation.
+    evictions: u64,
 }
 
 impl TaggedTable {
@@ -112,6 +117,7 @@ impl IttageLite {
             .map(|i| TaggedTable {
                 history_len: min_history << i,
                 entries: vec![None; entries_per_table],
+                evictions: 0,
             })
             .collect();
         IttageLite {
@@ -202,13 +208,15 @@ impl Predictor for IttageLite {
                 for step in 0..candidates.len() {
                     let ti = candidates[(offset + step) % candidates.len()];
                     let (index, tag) = self.tables[ti].index_and_tag(pc, &self.history);
-                    let slot = &mut self.tables[ti].entries[index];
-                    let free = match slot {
-                        None => true,
-                        Some(e) => e.useful.value() == 0,
+                    let (free, live) = match &self.tables[ti].entries[index] {
+                        None => (true, false),
+                        Some(e) => (e.useful.value() == 0, true),
                     };
                     if free {
-                        *slot = Some(TaggedEntry {
+                        if probe_counters_on() && live {
+                            self.tables[ti].evictions += 1;
+                        }
+                        self.tables[ti].entries[index] = Some(TaggedEntry {
                             tag,
                             target: actual,
                             confidence: SaturatingCounter::new(2),
@@ -238,6 +246,7 @@ impl Predictor for IttageLite {
         self.base.reset();
         for t in &mut self.tables {
             t.entries.iter_mut().for_each(|e| *e = None);
+            t.evictions = 0;
         }
         self.history.clear();
         self.alloc_seed = 0x9E37_79B9;
@@ -260,6 +269,41 @@ impl Predictor for IttageLite {
     fn storage_entries(&self) -> Option<usize> {
         // The base BTB is unbounded; report tagged storage only.
         Some(self.tagged_entries())
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.structural_snapshot())
+    }
+}
+
+impl StructuralSnapshot for IttageLite {
+    fn structural_snapshot(&self) -> Snapshot {
+        let mut snap = self.base.structural_snapshot();
+        if let Some(base) = snap.components.first_mut() {
+            base.label = format!("base {}", base.label);
+        }
+        for t in &self.tables {
+            // Confidence and useful counters are both 2-bit.
+            let mut confidence = vec![0u64; 4];
+            let mut occupied = 0u64;
+            for e in t.entries.iter().flatten() {
+                occupied += 1;
+                confidence[e.confidence.value() as usize] += 1;
+            }
+            snap.components.push(ComponentSnapshot {
+                label: format!("h={} {}-entry tagged", t.history_len, t.entries.len()),
+                table: TableSnapshot {
+                    occupied,
+                    capacity: Some(t.entries.len() as u64),
+                    evictions: t.evictions,
+                    tag_conflicts: 0,
+                    confidence,
+                    lru_depths: Vec::new(),
+                },
+                history: None,
+            });
+        }
+        snap
     }
 }
 

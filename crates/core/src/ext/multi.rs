@@ -3,6 +3,7 @@
 use ibp_trace::Addr;
 
 use crate::predictor::Predictor;
+use crate::snapshot::{Snapshot, StructuralSnapshot};
 use crate::table::TableHit;
 use crate::two_level::TwoLevelPredictor;
 
@@ -92,6 +93,20 @@ impl Predictor for MultiHybridPredictor {
             .iter()
             .map(Predictor::storage_entries)
             .try_fold(0usize, |acc, e| e.map(|n| acc + n))
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.structural_snapshot())
+    }
+}
+
+impl StructuralSnapshot for MultiHybridPredictor {
+    fn structural_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for c in &self.components {
+            snap.components.extend(c.structural_snapshot().components);
+        }
+        snap
     }
 }
 

@@ -6,6 +6,9 @@ use crate::counter::SaturatingCounter;
 use crate::history::{Histories, HistoryElement, HistorySharing};
 use crate::key::CompressedKeySpec;
 use crate::predictor::{Predictor, UpdateRule};
+use crate::snapshot::{
+    probe_counters_on, ComponentSnapshot, Snapshot, StructuralSnapshot, TableSnapshot,
+};
 use crate::table::{check_power_of_two, Slot};
 
 #[derive(Debug, Clone)]
@@ -47,6 +50,8 @@ pub struct SharedTableHybrid {
     rule: UpdateRule,
     confidence_bits: u8,
     tick: u64,
+    /// Probe-gated side counter: never read by the prediction path.
+    evictions: u64,
 }
 
 impl SharedTableHybrid {
@@ -81,6 +86,7 @@ impl SharedTableHybrid {
             rule: UpdateRule::TwoBitCounter,
             confidence_bits: 2,
             tick: 0,
+            evictions: 0,
         }
     }
 
@@ -207,6 +213,9 @@ impl Predictor for SharedTableHybrid {
                 }
             }
             let i = victim.expect("non-empty set");
+            if probe_counters_on() && self.ways_store[i].is_some() {
+                self.evictions += 1;
+            }
             self.ways_store[i] = Some(SharedWay {
                 tag,
                 owner: c as u8,
@@ -222,6 +231,7 @@ impl Predictor for SharedTableHybrid {
         self.histories.clear();
         self.ways_store.iter_mut().for_each(|w| *w = None);
         self.tick = 0;
+        self.evictions = 0;
     }
 
     fn name(&self) -> String {
@@ -240,6 +250,40 @@ impl Predictor for SharedTableHybrid {
 
     fn storage_entries(&self) -> Option<usize> {
         Some(self.capacity())
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.structural_snapshot())
+    }
+}
+
+impl StructuralSnapshot for SharedTableHybrid {
+    fn structural_snapshot(&self) -> Snapshot {
+        let mut confidence = vec![0u64; 1usize << self.confidence_bits];
+        // The "chosen" counters play the selector role here: their
+        // distribution shows how much of the shared table is actively used.
+        let mut chosen = vec![0u64; 4];
+        let mut occupied = 0u64;
+        for w in self.ways_store.iter().flatten() {
+            occupied += 1;
+            confidence[w.slot.hit().confidence as usize] += 1;
+            chosen[w.chosen.value() as usize] += 1;
+        }
+        Snapshot {
+            components: vec![ComponentSnapshot {
+                label: format!("shared {}-entry {}-way", self.capacity(), self.ways),
+                table: TableSnapshot {
+                    occupied,
+                    capacity: Some(self.capacity() as u64),
+                    evictions: self.evictions,
+                    tag_conflicts: 0,
+                    confidence,
+                    lru_depths: Vec::new(),
+                },
+                history: self.histories.history_snapshot(),
+            }],
+            selectors: chosen,
+        }
     }
 }
 

@@ -16,6 +16,7 @@
 use ibp_trace::Addr;
 
 use crate::predictor::{Predictor, UpdateRule};
+use crate::snapshot::{ComponentSnapshot, Snapshot, StructuralSnapshot};
 use crate::table::TaglessTable;
 
 /// A gshare(k) tagless target cache driven by conditional-branch history.
@@ -118,6 +119,31 @@ impl Predictor for TargetCache {
     fn storage_bits(&self) -> Option<u64> {
         // Tagless entries: 30-bit target + hysteresis + 2-bit confidence.
         Some(self.table.capacity() as u64 * 33)
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.structural_snapshot())
+    }
+
+    fn probe_key_fingerprint(&self, pc: Addr) -> Option<u64> {
+        Some(self.key(pc))
+    }
+}
+
+impl StructuralSnapshot for TargetCache {
+    fn structural_snapshot(&self) -> Snapshot {
+        Snapshot {
+            components: vec![ComponentSnapshot {
+                label: format!(
+                    "gshare({}) {}-entry tagless",
+                    self.history_bits,
+                    self.table.capacity()
+                ),
+                table: self.table.table_snapshot(),
+                history: None,
+            }],
+            selectors: Vec::new(),
+        }
     }
 }
 

@@ -220,6 +220,38 @@ impl Histories {
         self.depth
     }
 
+    /// The probe layer's census of this level's register states: how many
+    /// registers exist and how many share each path fingerprint. `None`
+    /// when `depth == 0` (there is no history state to report).
+    ///
+    /// Fingerprints use [`std::collections::hash_map::DefaultHasher`] with
+    /// its default (fixed) keys, so they are stable across processes.
+    #[must_use]
+    pub fn history_snapshot(&self) -> Option<crate::snapshot::HistorySnapshot> {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if self.depth == 0 {
+            return None;
+        }
+        let mut snap = crate::snapshot::HistorySnapshot::default();
+        {
+            let mut add = |reg: &HistoryRegister| {
+                let mut h = DefaultHasher::new();
+                reg.snapshot().hash(&mut h);
+                *snap.states.entry(h.finish()).or_insert(0) += 1;
+                snap.registers += 1;
+            };
+            if self.sharing.is_global() {
+                add(&self.global);
+            } else {
+                for reg in self.per_set.values() {
+                    add(reg);
+                }
+            }
+        }
+        Some(snap)
+    }
+
     /// The history register a branch at `pc` reads.
     ///
     /// Sets that have not been touched yet read as a cold (all-zero)

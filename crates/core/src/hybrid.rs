@@ -3,6 +3,7 @@
 use ibp_trace::Addr;
 
 use crate::predictor::Predictor;
+use crate::snapshot::{Snapshot, StructuralSnapshot};
 use crate::table::TableHit;
 use crate::two_level::TwoLevelPredictor;
 
@@ -127,6 +128,22 @@ impl Predictor for HybridPredictor {
             (Some(a), Some(b)) => Some(a + b),
             _ => None,
         }
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.structural_snapshot())
+    }
+}
+
+impl StructuralSnapshot for HybridPredictor {
+    fn structural_snapshot(&self) -> Snapshot {
+        // Components in (first, second) order — the same order the
+        // component-parallel fold assembles its merged snapshot in. A plain
+        // concat (not `absorb`) keeps p1 == p2 hybrids as two components.
+        let mut snap = self.first.structural_snapshot();
+        snap.components
+            .extend(self.second.structural_snapshot().components);
+        snap
     }
 }
 

@@ -59,6 +59,7 @@ mod key;
 mod meta;
 mod pattern;
 mod predictor;
+pub mod snapshot;
 pub mod table;
 mod two_level;
 
@@ -74,4 +75,8 @@ pub use key::{CompressedKeySpec, FullKey, KeyScheme, TableSharing};
 pub use meta::{BpstMetaPredictor, MetaSpec, MetaState};
 pub use pattern::PatternCompressor;
 pub use predictor::{Predictor, UpdateRule};
+pub use snapshot::{
+    probe_counters_on, set_probe_counters, ComponentSnapshot, HistorySnapshot, Snapshot,
+    StructuralSnapshot, TableSnapshot,
+};
 pub use two_level::TwoLevelPredictor;

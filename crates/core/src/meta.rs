@@ -8,6 +8,7 @@ use ibp_trace::Addr;
 use crate::counter::SaturatingCounter;
 use crate::hybrid::HybridPredictor;
 use crate::predictor::Predictor;
+use crate::snapshot::{Snapshot, StructuralSnapshot};
 use crate::table::TableHit;
 use crate::two_level::TwoLevelPredictor;
 
@@ -147,6 +148,20 @@ impl MetaState {
     pub fn reset(&mut self) {
         self.selectors.clear();
     }
+
+    /// Histogram of selector-counter values, indexed by value. Empty under
+    /// [`MetaSpec::Confidence`] (no selector state exists).
+    #[must_use]
+    pub fn selector_histogram(&self) -> Vec<u64> {
+        let MetaSpec::Bpst { selector_bits } = self.spec else {
+            return Vec::new();
+        };
+        let mut hist = vec![0u64; 1usize << selector_bits];
+        for c in self.selectors.values() {
+            hist[c.value() as usize] += 1;
+        }
+        hist
+    }
 }
 
 /// A hybrid predictor arbitrated by a branch predictor selection table
@@ -245,6 +260,20 @@ impl Predictor for BpstMetaPredictor {
             (Some(a), Some(b)) => Some(a + b),
             _ => None,
         }
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.structural_snapshot())
+    }
+}
+
+impl StructuralSnapshot for BpstMetaPredictor {
+    fn structural_snapshot(&self) -> Snapshot {
+        let mut snap = self.first.structural_snapshot();
+        snap.components
+            .extend(self.second.structural_snapshot().components);
+        snap.selectors = self.meta.selector_histogram();
+        snap
     }
 }
 

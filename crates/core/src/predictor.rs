@@ -2,6 +2,8 @@
 
 use ibp_trace::Addr;
 
+use crate::snapshot::Snapshot;
+
 /// When a history-table entry's target address is overwritten (§3.1/§3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum UpdateRule {
@@ -70,6 +72,23 @@ pub trait Predictor: Send {
     /// pay tag bits per entry, tagless ones only store targets and
     /// counters. Hybrids report the sum over components.
     fn storage_bits(&self) -> Option<u64> {
+        None
+    }
+
+    /// The predictor's internal structure for the probe layer, or `None`
+    /// when it does not expose one. Implementations must be read-only:
+    /// taking a snapshot never changes future predictions.
+    fn snapshot(&self) -> Option<Snapshot> {
+        None
+    }
+
+    /// A stable fingerprint of the table key the branch at `pc` would use
+    /// *right now* (history included), or `None` when the predictor has no
+    /// single-key lookup (hybrids). The probe layer uses this to split
+    /// no-entry mispredictions into cold and capacity misses, mirroring
+    /// `sim::analysis`.
+    fn probe_key_fingerprint(&self, pc: Addr) -> Option<u64> {
+        let _ = pc;
         None
     }
 }

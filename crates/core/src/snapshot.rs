@@ -1,0 +1,306 @@
+//! Structural snapshots of predictor internals (the probe layer).
+//!
+//! The paper's §5 narrative attributes accuracy loss under bounded tables
+//! to *capacity* and *interference* (tag conflicts, tagless aliasing).
+//! This module gives every predictor a way to report the structure behind
+//! those effects — table occupancy, eviction and tag-conflict counts, LRU
+//! stack-depth histograms, per-entry confidence and selector distributions,
+//! and history-register state entropy — without perturbing prediction:
+//! snapshots only *read* predictor state, and the side counters they report
+//! are write-only from the prediction path, so results are byte-identical
+//! with probing on or off.
+//!
+//! Cost discipline: the table-internal counters (evictions, conflicts,
+//! sampled LRU depths) only advance while the process-global probe gate is
+//! on — [`set_probe_counters`] — so the hot path pays one relaxed atomic
+//! load and a branch when probing is off.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-global gate for the table-internal probe counters.
+static PROBE_COUNTERS: AtomicBool = AtomicBool::new(false);
+
+/// Turns the table-internal probe counters on or off for the whole process.
+/// Driven by `IBP_PROBE` in `ibp-sim`; callable directly from tests.
+pub fn set_probe_counters(on: bool) {
+    PROBE_COUNTERS.store(on, Ordering::Relaxed);
+}
+
+/// Whether the table-internal probe counters are on.
+#[inline]
+#[must_use]
+pub fn probe_counters_on() -> bool {
+    PROBE_COUNTERS.load(Ordering::Relaxed)
+}
+
+/// Number of buckets in the LRU stack-depth histograms: bucket 0 is depth
+/// 0 (MRU hit), bucket `i >= 1` covers depths `2^(i-1) ..= 2^i - 1`, and
+/// the last bucket absorbs everything deeper.
+pub const LRU_DEPTH_BUCKETS: usize = 8;
+
+/// The histogram bucket for an LRU stack depth.
+#[must_use]
+pub fn lru_depth_bucket(depth: usize) -> usize {
+    if depth == 0 {
+        0
+    } else {
+        ((usize::BITS - depth.leading_zeros()) as usize).min(LRU_DEPTH_BUCKETS - 1)
+    }
+}
+
+/// Structure of one second-level table at a snapshot point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableSnapshot {
+    /// Entries currently live.
+    pub occupied: u64,
+    /// Total entries, or `None` for unbounded tables.
+    pub capacity: Option<u64>,
+    /// Valid entries replaced since construction (probe-gated counter).
+    pub evictions: u64,
+    /// Tag conflicts: set-associative misses in a full set, or destructive
+    /// tagless aliasing — a different key overwriting a live slot's shadow
+    /// tag (probe-gated counter).
+    pub tag_conflicts: u64,
+    /// Histogram of per-entry confidence counter values, indexed by value.
+    pub confidence: Vec<u64>,
+    /// Sampled LRU stack-depth histogram (see [`lru_depth_bucket`]); empty
+    /// for organisations without a recency stack.
+    pub lru_depths: Vec<u64>,
+}
+
+impl TableSnapshot {
+    /// Adds another table's counters into this one (site-shard merge:
+    /// partitions are disjoint, so every field merges by addition).
+    pub fn absorb(&mut self, other: &TableSnapshot) {
+        self.occupied += other.occupied;
+        self.evictions += other.evictions;
+        self.tag_conflicts += other.tag_conflicts;
+        absorb_histogram(&mut self.confidence, &other.confidence);
+        absorb_histogram(&mut self.lru_depths, &other.lru_depths);
+    }
+}
+
+fn absorb_histogram(into: &mut Vec<u64>, from: &[u64]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (i, v) in from.iter().enumerate() {
+        into[i] += v;
+    }
+}
+
+/// First-level history state at a snapshot point: a fingerprint census of
+/// the materialised registers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistorySnapshot {
+    /// Distinct registers materialised.
+    pub registers: u64,
+    /// Register-content fingerprint → number of registers in that state.
+    /// A `BTreeMap` so merged snapshots serialise deterministically.
+    pub states: BTreeMap<u64, u64>,
+}
+
+impl HistorySnapshot {
+    /// Shannon entropy of the register-state distribution, in millibits.
+    /// Zero for a single register (global history) or when every register
+    /// holds the same path.
+    #[must_use]
+    pub fn entropy_millibits(&self) -> u64 {
+        let total: u64 = self.states.values().sum();
+        if total == 0 {
+            return 0;
+        }
+        let total_f = total as f64;
+        let bits: f64 = self
+            .states
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total_f;
+                -p * p.log2()
+            })
+            .sum();
+        (bits * 1000.0).round().max(0.0) as u64
+    }
+
+    /// Adds another history census into this one (disjoint site partitions
+    /// merge exactly).
+    pub fn absorb(&mut self, other: &HistorySnapshot) {
+        self.registers += other.registers;
+        for (&k, &v) in &other.states {
+            *self.states.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+/// One predictor component's structure: a second-level table plus the
+/// first-level history feeding it (absent for history-less components).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSnapshot {
+    /// Short structural label, e.g. `"p=6 1024-entry 4-way"`.
+    pub label: String,
+    /// The component's table.
+    pub table: TableSnapshot,
+    /// The component's history registers, when it has any (path length
+    /// zero and direction-history designs report `None`).
+    pub history: Option<HistorySnapshot>,
+}
+
+/// A predictor's full structural state at one snapshot point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// One entry per component, in the predictor's own component order.
+    pub components: Vec<ComponentSnapshot>,
+    /// Histogram of metapredictor selector-counter values, indexed by
+    /// value (BPST hybrids only; empty otherwise).
+    pub selectors: Vec<u64>,
+}
+
+impl Snapshot {
+    /// A single-component snapshot with no history (convenience for bare
+    /// tables).
+    #[must_use]
+    pub fn single(label: impl Into<String>, table: TableSnapshot) -> Self {
+        Snapshot {
+            components: vec![ComponentSnapshot {
+                label: label.into(),
+                table,
+                history: None,
+            }],
+            selectors: Vec::new(),
+        }
+    }
+
+    /// Merges a same-shaped snapshot from a disjoint site partition
+    /// (shard-merge): components pair up positionally and every counter
+    /// adds. Component lists of different shapes concatenate instead —
+    /// the component-parallel fold assembles a hybrid's snapshot that way.
+    pub fn absorb(&mut self, other: &Snapshot) {
+        let same_shape = self.components.len() == other.components.len()
+            && self
+                .components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| a.label == b.label);
+        if same_shape {
+            for (mine, theirs) in self.components.iter_mut().zip(&other.components) {
+                mine.table.absorb(&theirs.table);
+                match (&mut mine.history, &theirs.history) {
+                    (Some(m), Some(t)) => m.absorb(t),
+                    (None, Some(t)) => mine.history = Some(t.clone()),
+                    _ => {}
+                }
+            }
+        } else {
+            self.components.extend(other.components.iter().cloned());
+        }
+        absorb_histogram(&mut self.selectors, &other.selectors);
+    }
+
+    /// Total live entries across components.
+    #[must_use]
+    pub fn occupied(&self) -> u64 {
+        self.components.iter().map(|c| c.table.occupied).sum()
+    }
+
+    /// Total evictions across components.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.components.iter().map(|c| c.table.evictions).sum()
+    }
+
+    /// Total tag conflicts across components.
+    #[must_use]
+    pub fn tag_conflicts(&self) -> u64 {
+        self.components.iter().map(|c| c.table.tag_conflicts).sum()
+    }
+}
+
+/// Types that can report their internal structure to the probe layer.
+///
+/// Implementations must be read-only over prediction state: taking a
+/// snapshot never changes what the predictor will predict next.
+pub trait StructuralSnapshot {
+    /// The current structural state.
+    fn structural_snapshot(&self) -> Snapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_buckets_are_log2() {
+        assert_eq!(lru_depth_bucket(0), 0);
+        assert_eq!(lru_depth_bucket(1), 1);
+        assert_eq!(lru_depth_bucket(2), 2);
+        assert_eq!(lru_depth_bucket(3), 2);
+        assert_eq!(lru_depth_bucket(4), 3);
+        assert_eq!(lru_depth_bucket(15), 4);
+        assert_eq!(lru_depth_bucket(16), 5);
+        assert_eq!(lru_depth_bucket(1 << 20), LRU_DEPTH_BUCKETS - 1);
+    }
+
+    #[test]
+    fn probe_gate_toggles() {
+        set_probe_counters(true);
+        assert!(probe_counters_on());
+        set_probe_counters(false);
+        assert!(!probe_counters_on());
+    }
+
+    #[test]
+    fn table_absorb_adds_fields() {
+        let mut a = TableSnapshot {
+            occupied: 3,
+            capacity: None,
+            evictions: 1,
+            tag_conflicts: 2,
+            confidence: vec![1, 2],
+            lru_depths: vec![5],
+        };
+        let b = TableSnapshot {
+            occupied: 4,
+            capacity: None,
+            evictions: 10,
+            tag_conflicts: 0,
+            confidence: vec![0, 1, 7],
+            lru_depths: vec![],
+        };
+        a.absorb(&b);
+        assert_eq!(a.occupied, 7);
+        assert_eq!(a.evictions, 11);
+        assert_eq!(a.tag_conflicts, 2);
+        assert_eq!(a.confidence, vec![1, 3, 7]);
+        assert_eq!(a.lru_depths, vec![5]);
+    }
+
+    #[test]
+    fn history_entropy() {
+        let mut h = HistorySnapshot::default();
+        assert_eq!(h.entropy_millibits(), 0);
+        h.states.insert(1, 2);
+        h.states.insert(2, 2);
+        h.registers = 4;
+        // Two equiprobable states: exactly 1 bit.
+        assert_eq!(h.entropy_millibits(), 1000);
+        h.states.insert(3, 2);
+        h.states.insert(4, 2);
+        assert_eq!(h.entropy_millibits(), 2000);
+    }
+
+    #[test]
+    fn snapshot_absorb_same_shape_adds_and_different_shape_concats() {
+        let table = |occ: u64| TableSnapshot {
+            occupied: occ,
+            ..TableSnapshot::default()
+        };
+        let mut a = Snapshot::single("x", table(1));
+        a.absorb(&Snapshot::single("x", table(2)));
+        assert_eq!(a.components.len(), 1);
+        assert_eq!(a.occupied(), 3);
+        a.absorb(&Snapshot::single("y", table(4)));
+        assert_eq!(a.components.len(), 2);
+        assert_eq!(a.occupied(), 7);
+    }
+}

@@ -3,7 +3,20 @@
 use ibp_trace::Addr;
 
 use crate::predictor::UpdateRule;
+use crate::snapshot::{
+    lru_depth_bucket, probe_counters_on, Snapshot, StructuralSnapshot, TableSnapshot,
+    LRU_DEPTH_BUCKETS,
+};
 use crate::table::{check_power_of_two, LruMap, Slot, TableHit};
+
+/// Probe-mode sampling stride for LRU stack-depth measurement: every
+/// `LRU_DEPTH_SAMPLE`-th update walks the recency list (capped) to find the
+/// touched entry's depth. Sampling keeps the probed run's overhead bounded
+/// on large tables.
+const LRU_DEPTH_SAMPLE: u64 = 64;
+
+/// Cap on the recency-list walk; deeper hits land in the last bucket.
+const LRU_DEPTH_WALK: usize = 64;
 
 /// A fully-associative history table of limited size with LRU replacement.
 ///
@@ -19,6 +32,10 @@ use crate::table::{check_power_of_two, LruMap, Slot, TableHit};
 pub struct FullyAssocTable {
     entries: LruMap<u64, Slot>,
     confidence_bits: u8,
+    /// Probe-gated side counters: never read by the prediction path.
+    evictions: u64,
+    depth_hist: [u64; LRU_DEPTH_BUCKETS],
+    probe_tick: u64,
 }
 
 impl FullyAssocTable {
@@ -37,6 +54,9 @@ impl FullyAssocTable {
         FullyAssocTable {
             entries: LruMap::new(entries),
             confidence_bits,
+            evictions: 0,
+            depth_hist: [0; LRU_DEPTH_BUCKETS],
+            probe_tick: 0,
         }
     }
 
@@ -49,11 +69,31 @@ impl FullyAssocTable {
     /// Trains the entry for `key`, inserting (and possibly evicting the
     /// least-recently-used entry) on a tag miss.
     pub fn update(&mut self, key: u64, actual: Addr, rule: UpdateRule) {
+        let probing = probe_counters_on();
+        if probing {
+            self.probe_tick += 1;
+            if self.probe_tick.is_multiple_of(LRU_DEPTH_SAMPLE) {
+                if let Some(depth) = self
+                    .entries
+                    .iter()
+                    .take(LRU_DEPTH_WALK)
+                    .position(|(k, _)| *k == key)
+                {
+                    self.depth_hist[lru_depth_bucket(depth)] += 1;
+                } else if self.entries.contains(&key) {
+                    self.depth_hist[LRU_DEPTH_BUCKETS - 1] += 1;
+                }
+            }
+        }
         if let Some(slot) = self.entries.get_promote(&key) {
             slot.train(actual, rule);
         } else {
-            self.entries
+            let evicted = self
+                .entries
                 .insert(key, Slot::new(actual, self.confidence_bits));
+            if probing && evicted.is_some() {
+                self.evictions += 1;
+            }
         }
     }
 
@@ -75,9 +115,38 @@ impl FullyAssocTable {
         self.entries.is_empty()
     }
 
-    /// Removes all entries.
+    /// Removes all entries (probe counters included).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.evictions = 0;
+        self.depth_hist = [0; LRU_DEPTH_BUCKETS];
+        self.probe_tick = 0;
+    }
+
+    /// The table's structure for the probe layer.
+    #[must_use]
+    pub fn table_snapshot(&self) -> TableSnapshot {
+        let mut confidence = vec![0u64; 1usize << self.confidence_bits];
+        for (_, slot) in self.entries.iter() {
+            confidence[slot.hit().confidence as usize] += 1;
+        }
+        TableSnapshot {
+            occupied: self.entries.len() as u64,
+            capacity: Some(self.entries.capacity() as u64),
+            evictions: self.evictions,
+            tag_conflicts: 0,
+            confidence,
+            lru_depths: self.depth_hist.to_vec(),
+        }
+    }
+}
+
+impl StructuralSnapshot for FullyAssocTable {
+    fn structural_snapshot(&self) -> Snapshot {
+        Snapshot::single(
+            format!("{}-entry full-assoc", self.entries.capacity()),
+            self.table_snapshot(),
+        )
     }
 }
 

@@ -8,6 +8,8 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use crate::snapshot::{Snapshot, StructuralSnapshot, TableSnapshot};
+
 const NIL: usize = usize::MAX;
 
 #[derive(Debug, Clone)]
@@ -248,6 +250,19 @@ impl<'a, K: Hash + Eq + Clone, V> Iterator for Iter<'a, K, V> {
         let node = &self.map.nodes[self.cursor];
         self.cursor = node.next;
         Some((&node.key, node.value.as_ref().expect("live node")))
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> StructuralSnapshot for LruMap<K, V> {
+    fn structural_snapshot(&self) -> Snapshot {
+        Snapshot::single(
+            format!("{}-entry lru", self.capacity),
+            TableSnapshot {
+                occupied: self.len() as u64,
+                capacity: Some(self.capacity as u64),
+                ..TableSnapshot::default()
+            },
+        )
     }
 }
 

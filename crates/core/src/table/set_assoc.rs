@@ -3,6 +3,10 @@
 use ibp_trace::Addr;
 
 use crate::predictor::UpdateRule;
+use crate::snapshot::{
+    lru_depth_bucket, probe_counters_on, Snapshot, StructuralSnapshot, TableSnapshot,
+    LRU_DEPTH_BUCKETS,
+};
 use crate::table::{check_power_of_two, Slot, TableHit};
 
 #[derive(Debug, Clone)]
@@ -44,6 +48,10 @@ pub struct SetAssocTable {
     confidence_bits: u8,
     tick: u64,
     occupied: usize,
+    /// Probe-gated side counters: never read by the prediction path.
+    evictions: u64,
+    tag_conflicts: u64,
+    depth_hist: [u64; LRU_DEPTH_BUCKETS],
 }
 
 impl SetAssocTable {
@@ -72,6 +80,9 @@ impl SetAssocTable {
             confidence_bits,
             tick: 0,
             occupied: 0,
+            evictions: 0,
+            tag_conflicts: 0,
+            depth_hist: [0; LRU_DEPTH_BUCKETS],
         }
     }
 
@@ -140,13 +151,26 @@ impl SetAssocTable {
     pub fn update(&mut self, key: u64, actual: Addr, rule: UpdateRule) {
         self.tick += 1;
         let tick = self.tick;
+        let probing = probe_counters_on();
         let (index, tag) = self.split(key);
         let range = self.set_range(index);
 
         // Tag hit: train in place.
         for i in range.clone() {
-            if let Some(w) = &mut self.ways_store[i] {
+            if let Some(w) = &self.ways_store[i] {
                 if w.tag == tag {
+                    if probing {
+                        // LRU stack depth within the set = ways touched
+                        // more recently than this one.
+                        let my_stamp = w.stamp;
+                        let depth = self.ways_store[range.clone()]
+                            .iter()
+                            .flatten()
+                            .filter(|o| o.stamp > my_stamp)
+                            .count();
+                        self.depth_hist[lru_depth_bucket(depth)] += 1;
+                    }
+                    let w = self.ways_store[i].as_mut().expect("hit way");
                     w.slot.train(actual, rule);
                     w.stamp = tick;
                     return;
@@ -156,11 +180,13 @@ impl SetAssocTable {
         // Miss: fill an invalid way, else evict the LRU way.
         let mut victim = None;
         let mut oldest = u64::MAX;
+        let mut filled_free = false;
         for i in range {
             match &self.ways_store[i] {
                 None => {
                     victim = Some(i);
                     self.occupied += 1;
+                    filled_free = true;
                     break;
                 }
                 Some(w) if w.stamp < oldest => {
@@ -170,6 +196,12 @@ impl SetAssocTable {
                 Some(_) => {}
             }
         }
+        if probing && !filled_free {
+            // A miss in a full set replaces a live way: one eviction, and
+            // by the paper's §5.2 taxonomy a tag conflict in this set.
+            self.evictions += 1;
+            self.tag_conflicts += 1;
+        }
         let i = victim.expect("non-empty set");
         self.ways_store[i] = Some(Way {
             tag,
@@ -178,11 +210,40 @@ impl SetAssocTable {
         });
     }
 
-    /// Removes all entries.
+    /// Removes all entries (probe counters included).
     pub fn clear(&mut self) {
         self.ways_store.iter_mut().for_each(|w| *w = None);
         self.tick = 0;
         self.occupied = 0;
+        self.evictions = 0;
+        self.tag_conflicts = 0;
+        self.depth_hist = [0; LRU_DEPTH_BUCKETS];
+    }
+
+    /// The table's structure for the probe layer.
+    #[must_use]
+    pub fn table_snapshot(&self) -> TableSnapshot {
+        let mut confidence = vec![0u64; 1usize << self.confidence_bits];
+        for w in self.ways_store.iter().flatten() {
+            confidence[w.slot.hit().confidence as usize] += 1;
+        }
+        TableSnapshot {
+            occupied: self.occupied as u64,
+            capacity: Some(self.capacity() as u64),
+            evictions: self.evictions,
+            tag_conflicts: self.tag_conflicts,
+            confidence,
+            lru_depths: self.depth_hist.to_vec(),
+        }
+    }
+}
+
+impl StructuralSnapshot for SetAssocTable {
+    fn structural_snapshot(&self) -> Snapshot {
+        Snapshot::single(
+            format!("{}-entry {}-way", self.capacity(), self.ways),
+            self.table_snapshot(),
+        )
     }
 }
 

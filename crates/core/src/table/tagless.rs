@@ -3,6 +3,7 @@
 use ibp_trace::Addr;
 
 use crate::predictor::UpdateRule;
+use crate::snapshot::{probe_counters_on, Snapshot, StructuralSnapshot, TableSnapshot};
 use crate::table::{check_power_of_two, Slot, TableHit};
 
 /// A direct-mapped table without tags.
@@ -18,6 +19,10 @@ pub struct TaglessTable {
     entries: Vec<Option<Slot>>,
     confidence_bits: u8,
     occupied: usize,
+    /// Probe-gated shadow tags (the key that last wrote each slot), used
+    /// only to count destructive aliasing; never read by prediction.
+    shadow: Option<Vec<u64>>,
+    tag_conflicts: u64,
 }
 
 impl TaglessTable {
@@ -35,6 +40,8 @@ impl TaglessTable {
             entries: vec![None; entries],
             confidence_bits,
             occupied: 0,
+            shadow: None,
+            tag_conflicts: 0,
         }
     }
 
@@ -54,6 +61,16 @@ impl TaglessTable {
     /// same entry (negative *and* positive interference).
     pub fn update(&mut self, key: u64, actual: Addr, rule: UpdateRule) {
         let i = self.index(key);
+        if probe_counters_on() {
+            let cap = self.entries.len();
+            let shadow = self.shadow.get_or_insert_with(|| vec![u64::MAX; cap]);
+            // A live slot last written by a different key: this update is
+            // an aliasing write (interference, §5.2).
+            if self.entries[i].is_some() && shadow[i] != key {
+                self.tag_conflicts += 1;
+            }
+            shadow[i] = key;
+        }
         match &mut self.entries[i] {
             Some(slot) => {
                 slot.train(actual, rule);
@@ -83,10 +100,40 @@ impl TaglessTable {
         self.occupied == 0
     }
 
-    /// Removes all entries.
+    /// Removes all entries (probe state included).
     pub fn clear(&mut self) {
         self.entries.iter_mut().for_each(|e| *e = None);
         self.occupied = 0;
+        self.shadow = None;
+        self.tag_conflicts = 0;
+    }
+
+    /// The table's structure for the probe layer. `tag_conflicts` counts
+    /// aliasing writes (a live slot overwritten-or-trained by a different
+    /// key than the one that last wrote it) — the paper's interference.
+    #[must_use]
+    pub fn table_snapshot(&self) -> TableSnapshot {
+        let mut confidence = vec![0u64; 1usize << self.confidence_bits];
+        for slot in self.entries.iter().flatten() {
+            confidence[slot.hit().confidence as usize] += 1;
+        }
+        TableSnapshot {
+            occupied: self.occupied as u64,
+            capacity: Some(self.entries.len() as u64),
+            evictions: 0,
+            tag_conflicts: self.tag_conflicts,
+            confidence,
+            lru_depths: Vec::new(),
+        }
+    }
+}
+
+impl StructuralSnapshot for TaglessTable {
+    fn structural_snapshot(&self) -> Snapshot {
+        Snapshot::single(
+            format!("{}-entry tagless", self.entries.len()),
+            self.table_snapshot(),
+        )
     }
 }
 

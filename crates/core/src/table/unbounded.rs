@@ -6,6 +6,7 @@ use std::hash::Hash;
 use ibp_trace::Addr;
 
 use crate::predictor::UpdateRule;
+use crate::snapshot::{Snapshot, StructuralSnapshot, TableSnapshot};
 use crate::table::{Slot, TableHit};
 
 /// An unlimited fully-associative table: every key has its own entry and
@@ -74,6 +75,36 @@ impl<K: Hash + Eq> UnboundedTable<K> {
     /// Removes all entries.
     pub fn clear(&mut self) {
         self.map.clear();
+    }
+
+    /// Histogram of stored confidence-counter values, indexed by value.
+    #[must_use]
+    pub fn confidence_histogram(&self) -> Vec<u64> {
+        let mut hist = vec![0u64; (1usize << self.confidence_bits.min(7)).min(128)];
+        for slot in self.map.values() {
+            hist[slot.hit().confidence as usize] += 1;
+        }
+        hist
+    }
+
+    /// The table's structure for the probe layer. Nothing is ever evicted
+    /// here, so only occupancy and confidence are meaningful.
+    #[must_use]
+    pub fn table_snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            occupied: self.map.len() as u64,
+            capacity: None,
+            evictions: 0,
+            tag_conflicts: 0,
+            confidence: self.confidence_histogram(),
+            lru_depths: Vec::new(),
+        }
+    }
+}
+
+impl<K: Hash + Eq> StructuralSnapshot for UnboundedTable<K> {
+    fn structural_snapshot(&self) -> Snapshot {
+        Snapshot::single("unbounded", self.table_snapshot())
     }
 }
 

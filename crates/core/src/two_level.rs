@@ -5,6 +5,7 @@ use ibp_trace::Addr;
 use crate::history::{Histories, HistoryElement, HistorySharing};
 use crate::key::{CompressedKeySpec, FullKey, TableSharing};
 use crate::predictor::{Predictor, UpdateRule};
+use crate::snapshot::{ComponentSnapshot, Snapshot, StructuralSnapshot, TableSnapshot};
 use crate::table::{FullyAssocTable, SetAssocTable, TableHit, TaglessTable, UnboundedTable};
 
 /// Second-level storage for a compressed-key predictor.
@@ -75,6 +76,15 @@ impl Backend {
                 format!("{}-entry {}-way", t.capacity(), t.ways())
             }
             Backend::Tagless(t) => format!("{}-entry tagless", t.capacity()),
+        }
+    }
+
+    fn table_snapshot(&self) -> TableSnapshot {
+        match self {
+            Backend::Unbounded(t) => t.table_snapshot(),
+            Backend::FullAssoc(t) => t.table_snapshot(),
+            Backend::SetAssoc(t) => t.table_snapshot(),
+            Backend::Tagless(t) => t.table_snapshot(),
         }
     }
 }
@@ -355,6 +365,27 @@ impl TwoLevelPredictor {
     }
 }
 
+impl StructuralSnapshot for TwoLevelPredictor {
+    fn structural_snapshot(&self) -> Snapshot {
+        let table = match &self.mode {
+            Mode::Full { table, .. } => table.table_snapshot(),
+            Mode::Compressed { backend, .. } => backend.table_snapshot(),
+        };
+        let describe = match &self.mode {
+            Mode::Full { .. } => "unbounded".to_string(),
+            Mode::Compressed { backend, .. } => backend.describe(),
+        };
+        Snapshot {
+            components: vec![ComponentSnapshot {
+                label: format!("p={} {describe}", self.path_len),
+                table,
+                history: self.histories.history_snapshot(),
+            }],
+            selectors: Vec::new(),
+        }
+    }
+}
+
 impl Predictor for TwoLevelPredictor {
     fn predict(&self, pc: Addr) -> Option<Addr> {
         self.lookup(pc).map(|h| h.target)
@@ -455,6 +486,14 @@ impl Predictor for TwoLevelPredictor {
             Backend::FullAssoc(_) => u64::from(spec.key_width()) + 1,
         };
         Some(entries * (PAYLOAD_BITS + tag_bits))
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        Some(self.structural_snapshot())
+    }
+
+    fn probe_key_fingerprint(&self, pc: Addr) -> Option<u64> {
+        Some(self.key_fingerprint(pc))
     }
 }
 

@@ -216,6 +216,8 @@ pub enum Kind {
     Log,
     /// A metrics-registry snapshot.
     Metrics,
+    /// A predictor-internals probe sample (see `ibp-sim`'s probe layer).
+    Probe,
 }
 
 impl Kind {
@@ -226,6 +228,7 @@ impl Kind {
             "event" => Kind::Event,
             "log" => Kind::Log,
             "metrics" => Kind::Metrics,
+            "probe" => Kind::Probe,
             _ => return None,
         })
     }
@@ -314,26 +317,43 @@ impl Record {
     }
 }
 
-/// Reads and parses a whole journal file.
+/// Reads and parses a whole journal file, skipping malformed lines.
+///
+/// Equivalent to [`read_journal_counting`] with the bad-line count
+/// discarded.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors; malformed lines fail with their line number.
+/// Propagates I/O errors only.
 pub fn read_journal(path: &Path) -> std::io::Result<Vec<Record>> {
+    read_journal_counting(path).map(|(records, _)| records)
+}
+
+/// Reads and parses a whole journal file. A line that is not valid JSON or
+/// not a known record shape is skipped with a warning (a crashed or
+/// concurrently-written run can leave a truncated tail — the rest of the
+/// journal is still worth rendering); the second element counts how many
+/// lines were dropped.
+///
+/// # Errors
+///
+/// Propagates I/O errors only.
+pub fn read_journal_counting(path: &Path) -> std::io::Result<(Vec<Record>, usize)> {
     let file = fs::File::open(path)?;
     let mut records = Vec::new();
+    let mut bad_lines = 0usize;
     for (i, line) in BufReader::new(file).lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let record = Record::parse(&line).map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("{}:{}: {e}", path.display(), i + 1),
-            )
-        })?;
-        records.push(record);
+        match Record::parse(&line) {
+            Ok(record) => records.push(record),
+            Err(e) => {
+                bad_lines += 1;
+                crate::warn!("skipping corrupt journal line {}:{}: {e}", path.display(), i + 1);
+            }
+        }
     }
-    Ok(records)
+    Ok((records, bad_lines))
 }

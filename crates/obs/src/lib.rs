@@ -48,7 +48,7 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 use json::Json;
-pub use journal::{enabled, read_journal, Kind, Record};
+pub use journal::{enabled, read_journal, read_journal_counting, Kind, Record};
 
 /// A field value attached to a span, event or log record.
 #[derive(Debug, Clone, PartialEq)]
@@ -239,6 +239,29 @@ pub fn event(name: &'static str, fields: Vec<(&'static str, Value)>) {
         return;
     }
     journal::write_record(&record_json("event", name, journal::now_us(), &[], fields));
+}
+
+/// Journals a `probe` record carrying a predictor-internals payload.
+///
+/// `payload` must be a [`Json::Obj`]; its members become the record's
+/// fields on read-back (probe payloads are nested — component arrays,
+/// histograms — which the flat [`Value`] field type cannot express, hence
+/// the raw-JSON signature). No-op when tracing is off; callers should gate
+/// payload construction on [`enabled`].
+pub fn probe(name: &str, payload: Json) {
+    if !journal::enabled() {
+        return;
+    }
+    journal::write_record(&Json::Obj(vec![
+        ("t".to_string(), Json::Str("probe".to_string())),
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("ts".to_string(), Json::Num(journal::now_us() as f64)),
+        (
+            "tid".to_string(),
+            Json::Num(journal::thread_id() as f64),
+        ),
+        ("f".to_string(), payload),
+    ]));
 }
 
 /// Journals an instant event with inline fields:
@@ -542,6 +565,83 @@ mod tests {
             hist.get("counts").and_then(Json::as_arr).map(<[Json]>::len),
             Some(3)
         );
+    }
+
+    #[test]
+    fn probe_record_round_trips() {
+        let _guard = serial();
+        let records = capture_records(|| {
+            probe(
+                "gcc/p=8 unbounded",
+                Json::Obj(vec![
+                    ("point".to_string(), Json::Str("end".to_string())),
+                    (
+                        "components".to_string(),
+                        Json::Arr(vec![Json::Obj(vec![
+                            ("label".to_string(), Json::Str("unbounded".to_string())),
+                            ("occupied".to_string(), Json::Num(42.0)),
+                            (
+                                "confidence".to_string(),
+                                Json::Arr(vec![Json::Num(1.0), Json::Num(41.0)]),
+                            ),
+                        ])]),
+                    ),
+                ]),
+            );
+        });
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.kind, Kind::Probe);
+        assert_eq!(r.name, "gcc/p=8 unbounded");
+        assert_eq!(r.field_str("point"), Some("end"));
+        let comps = r.field("components").and_then(Json::as_arr).expect("components");
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].get("occupied").and_then(Json::as_u64), Some(42));
+        assert_eq!(
+            comps[0]
+                .get("confidence")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn probe_is_noop_when_disabled() {
+        let _guard = serial();
+        journal::uninstall();
+        // Must not panic or require a sink.
+        probe("quiet", Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn read_journal_skips_corrupt_lines() {
+        let _guard = serial();
+        let dir = std::env::temp_dir().join(format!("ibp-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("corrupt.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"t\":\"event\",\"name\":\"ok1\",\"ts\":1,\"tid\":0}\n",
+                "{\"t\":\"event\",\"name\":\"trunc\",\"ts\":2,\n",
+                "not json at all\n",
+                "{\"t\":\"mystery\",\"name\":\"unknown-tag\",\"ts\":3}\n",
+                "{\"t\":\"event\",\"name\":\"ok2\",\"ts\":4,\"tid\":0}\n",
+            ),
+        )
+        .expect("write journal");
+        let (records, bad) = read_journal_counting(&path).expect("io ok");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(bad, 3);
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["ok1", "ok2"]);
+        // The lossy default reader agrees.
+        std::fs::write(&path, "{\"t\":\"event\",\"name\":\"only\",\"ts\":1}\nbroken\n")
+            .expect("write journal");
+        let records = read_journal(&path).expect("io ok");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(records.len(), 1);
     }
 
     #[test]

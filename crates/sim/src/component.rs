@@ -53,6 +53,7 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use ibp_core::snapshot::Snapshot;
 use ibp_core::table::TableHit;
 use ibp_core::{
     BpstMetaPredictor, Decomposition, HybridPredictor, MetaSpec, MetaState, Predictor,
@@ -62,6 +63,7 @@ use ibp_obs::metrics::{Counter, Histogram, WorkClock};
 use ibp_trace::io::TraceIoError;
 use ibp_trace::{chunk_events, Addr, EventSource, TraceChunk, TraceEvent};
 
+use crate::probe::{self, Attribution, ProbePayload, ProbePolicy};
 use crate::run::{simulate_source, RunStats};
 use crate::shard::{threads_available, SpscQueue, QUEUE_CAPACITY};
 
@@ -213,6 +215,16 @@ impl PredRecord {
     }
 }
 
+/// Merge-side probe state: the metapredictor's attribution of scored
+/// events plus the selector histogram captured at the warmup crossing
+/// (the component workers only see their own tables; selector state lives
+/// here, in the [`MetaState`]).
+#[derive(Debug, Default)]
+struct MergeProbe {
+    attribution: Attribution,
+    warm_selectors: Option<Vec<u64>>,
+}
+
 /// Rebuilds the sequential hybrid from its decomposition — the fallback
 /// when the budget grants no parallelism, and the definition the pipeline
 /// is tested against.
@@ -238,24 +250,33 @@ fn build_sequential(d: &Decomposition) -> Box<dyn Predictor> {
 /// indirect event against the global warmup prefix, scored events
 /// arbitrate-then-score, and the selector trains on every event (that is
 /// what `replay` does — arbitration is pure, training matches `update`).
-fn merge_chunk(
-    chunk: &TraceChunk,
-    first: &[PredRecord],
-    second: &[PredRecord],
-    meta: &mut MetaState,
-    stats: &mut RunStats,
-    seen: &mut u64,
+struct MergeFold<'a> {
+    meta: &'a mut MetaState,
+    stats: &'a mut RunStats,
+    seen: &'a mut u64,
     warmup: u64,
-) {
+    probe: &'a mut Option<MergeProbe>,
+}
+
+fn merge_chunk(chunk: &TraceChunk, first: &[PredRecord], second: &[PredRecord], fold: &mut MergeFold) {
     debug_assert_eq!(first.len() as u64, chunk.indirect_count());
     debug_assert_eq!(second.len() as u64, chunk.indirect_count());
     for ((b, f), s) in chunk.indirect().zip(first).zip(second) {
-        *seen += 1;
-        let predicted = meta.replay(b.pc, f.unpack(), s.unpack(), b.target);
-        if *seen > warmup {
-            stats.indirect += 1;
+        *fold.seen += 1;
+        let predicted = fold.meta.replay(b.pc, f.unpack(), s.unpack(), b.target);
+        if *fold.seen > fold.warmup {
+            fold.stats.indirect += 1;
             if predicted != Some(b.target) {
-                stats.mispredicted += 1;
+                fold.stats.mispredicted += 1;
+            }
+            if let Some(p) = fold.probe.as_mut() {
+                // Hybrids expose no key fingerprint, so no cold/capacity
+                // split — exactly like the sequential fold.
+                p.attribution.score(b.pc, predicted, b.target, None);
+            }
+        } else if *fold.seen == fold.warmup {
+            if let Some(p) = fold.probe.as_mut() {
+                p.warm_selectors = Some(fold.meta.selector_histogram());
             }
         }
     }
@@ -263,18 +284,27 @@ fn merge_chunk(
 
 /// One component worker: folds every broadcast chunk into its own
 /// predictor, emitting the pre-update lookup record per indirect event.
+/// With probing on, returns the component's warm and end structural
+/// snapshots — every worker sees the full event stream, so its state at
+/// the warmup crossing is exactly the sequential hybrid's component state
+/// there.
 fn component_worker(
     index: usize,
     cfg: &ibp_core::PredictorConfig,
     input: &SpscQueue<Arc<TraceChunk>>,
     output: &SpscQueue<Vec<PredRecord>>,
-) {
+    policy: ProbePolicy,
+    warmup: u64,
+) -> Option<(Option<Snapshot>, Snapshot)> {
     let mut span = obs::span!("component", component = index);
     let mut clock = WorkClock::start();
     let mut predictor = cfg
         .try_build_two_level()
         .expect("decomposed component config builds");
     let mut events = 0u64;
+    let probing = policy.on();
+    let mut probe_seen = 0u64;
+    let mut warm: Option<Snapshot> = None;
     while let Some(chunk) = input.pop() {
         let records = clock.busy(|| {
             let mut records = Vec::with_capacity(chunk.indirect_count() as usize);
@@ -283,6 +313,12 @@ fn component_worker(
                     TraceEvent::Indirect(b) => {
                         records.push(PredRecord::pack(predictor.lookup(b.pc)));
                         predictor.update(b.pc, b.target);
+                        if probing {
+                            probe_seen += 1;
+                            if probe_seen == warmup {
+                                warm = predictor.snapshot();
+                            }
+                        }
                     }
                     TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
                 }
@@ -292,6 +328,12 @@ fn component_worker(
         events += records.len() as u64;
         output.push(records);
     }
+    let probe = probing.then(|| {
+        let end = predictor
+            .snapshot()
+            .expect("two-level predictors expose a snapshot");
+        (warm.take(), end)
+    });
     events_counter().add(events);
     busy_us_counter().add(clock.busy_us());
     idle_us_counter().add(clock.idle_us());
@@ -301,6 +343,7 @@ fn component_worker(
     span.note("busy_us", clock.busy_us());
     span.note("idle_us", clock.idle_us());
     span.note("occupancy_pct", clock.util_pct());
+    probe
 }
 
 /// Folds one event source through a decomposed hybrid's components in
@@ -363,6 +406,7 @@ pub fn simulate_source_components_with_chunk<S: EventSource + ?Sized>(
         meta = meta_name
     );
     runs_counter().incr();
+    let policy = probe::active_policy();
     let configs = [&decomposition.first, &decomposition.second];
     let inputs: Vec<SpscQueue<Arc<TraceChunk>>> = (0..2).map(|_| SpscQueue::new()).collect();
     let outputs: Vec<SpscQueue<Vec<PredRecord>>> = (0..2).map(|_| SpscQueue::new()).collect();
@@ -370,68 +414,114 @@ pub fn simulate_source_components_with_chunk<S: EventSource + ?Sized>(
     let mut stats = RunStats::default();
     let mut seen = 0u64;
     let mut record_hwm = 0u64;
-    let routed = std::thread::scope(|scope| -> Result<u64, TraceIoError> {
-        for (i, cfg) in configs.into_iter().enumerate() {
-            let (input, output) = (&inputs[i], &outputs[i]);
-            scope.spawn(move || component_worker(i, cfg, input, output));
-        }
-        // Router + merger: broadcast each freshly filled chunk (fill
-        // clears its argument, and the previous chunk is still shared
-        // with the workers, so every fill gets a fresh allocation), and
-        // keep at most QUEUE_CAPACITY chunks in flight before merging the
-        // oldest. That bound is what makes the single-threaded
-        // router/merger deadlock-free: a worker never has more than
-        // QUEUE_CAPACITY unmerged record buffers outstanding, so its
-        // output push never blocks forever.
-        let mut ring: VecDeque<Arc<TraceChunk>> = VecDeque::with_capacity(QUEUE_CAPACITY);
-        let mut inflight_records = 0u64;
-        let mut routed = 0u64;
-        let mut merge_oldest = |ring: &mut VecDeque<Arc<TraceChunk>>, inflight: &mut u64| {
-            let chunk = ring.pop_front().expect("merge on empty ring");
-            let first = outputs[0].pop().expect("first component starved the merge");
-            let second = outputs[1].pop().expect("second component starved the merge");
-            merge_chunk(&chunk, &first, &second, &mut meta, &mut stats, &mut seen, warmup);
-            *inflight -= 2 * chunk.indirect_count();
-        };
-        loop {
-            let mut fresh = TraceChunk::default();
-            let more = match source.fill(&mut fresh, chunk) {
-                Ok(more) => more,
-                Err(e) => {
-                    // Unblock both sides: workers drain their remaining
-                    // chunks and their output pushes drop once closed.
-                    for q in &inputs {
-                        q.close();
-                    }
-                    for q in &outputs {
-                        q.close();
-                    }
-                    return Err(e);
-                }
-            };
-            let shared = Arc::new(fresh);
-            routed += shared.indirect_count();
-            inflight_records += 2 * shared.indirect_count();
-            record_hwm = record_hwm.max(inflight_records);
-            for q in &inputs {
-                q.push(Arc::clone(&shared));
+    let mut merge_probe = policy.on().then(MergeProbe::default);
+    type WorkerProbe = Option<(Option<Snapshot>, Snapshot)>;
+    let (routed, worker_probes) = std::thread::scope(
+        |scope| -> Result<(u64, Vec<WorkerProbe>), TraceIoError> {
+            let mut handles = Vec::with_capacity(2);
+            for (i, cfg) in configs.into_iter().enumerate() {
+                let (input, output) = (&inputs[i], &outputs[i]);
+                handles
+                    .push(scope.spawn(move || component_worker(i, cfg, input, output, policy, warmup)));
             }
-            ring.push_back(shared);
-            if ring.len() >= QUEUE_CAPACITY {
+            // Router + merger: broadcast each freshly filled chunk (fill
+            // clears its argument, and the previous chunk is still shared
+            // with the workers, so every fill gets a fresh allocation), and
+            // keep at most QUEUE_CAPACITY chunks in flight before merging
+            // the oldest. That bound is what makes the single-threaded
+            // router/merger deadlock-free: a worker never has more than
+            // QUEUE_CAPACITY unmerged record buffers outstanding, so its
+            // output push never blocks forever.
+            let mut ring: VecDeque<Arc<TraceChunk>> = VecDeque::with_capacity(QUEUE_CAPACITY);
+            let mut inflight_records = 0u64;
+            let mut routed = 0u64;
+            let mut merge_oldest = |ring: &mut VecDeque<Arc<TraceChunk>>, inflight: &mut u64| {
+                let chunk = ring.pop_front().expect("merge on empty ring");
+                let first = outputs[0].pop().expect("first component starved the merge");
+                let second = outputs[1].pop().expect("second component starved the merge");
+                let mut fold = MergeFold {
+                    meta: &mut meta,
+                    stats: &mut stats,
+                    seen: &mut seen,
+                    warmup,
+                    probe: &mut merge_probe,
+                };
+                merge_chunk(&chunk, &first, &second, &mut fold);
+                *inflight -= 2 * chunk.indirect_count();
+            };
+            loop {
+                let mut fresh = TraceChunk::default();
+                let more = match source.fill(&mut fresh, chunk) {
+                    Ok(more) => more,
+                    Err(e) => {
+                        // Unblock both sides: workers drain their remaining
+                        // chunks and their output pushes drop once closed.
+                        for q in &inputs {
+                            q.close();
+                        }
+                        for q in &outputs {
+                            q.close();
+                        }
+                        return Err(e);
+                    }
+                };
+                let shared = Arc::new(fresh);
+                routed += shared.indirect_count();
+                inflight_records += 2 * shared.indirect_count();
+                record_hwm = record_hwm.max(inflight_records);
+                for q in &inputs {
+                    q.push(Arc::clone(&shared));
+                }
+                ring.push_back(shared);
+                if ring.len() >= QUEUE_CAPACITY {
+                    merge_oldest(&mut ring, &mut inflight_records);
+                }
+                if !more {
+                    break;
+                }
+            }
+            for q in &inputs {
+                q.close();
+            }
+            while !ring.is_empty() {
                 merge_oldest(&mut ring, &mut inflight_records);
             }
-            if !more {
-                break;
-            }
+            // Workers exit once their input closes and every record buffer
+            // has been popped by the merge above, so the joins are brief.
+            let probes = handles
+                .into_iter()
+                .map(|h| h.join().expect("component worker panicked"))
+                .collect();
+            Ok((routed, probes))
+        },
+    )?;
+    if let Some(mp) = merge_probe {
+        let mut probes = worker_probes.into_iter();
+        let first = probes.next().flatten();
+        let second = probes.next().flatten();
+        if let (Some((w0, e0)), Some((w1, e1))) = (first, second) {
+            // Assemble in (first, second) order with the metapredictor's
+            // selector histogram — the exact shape the sequential hybrid's
+            // `StructuralSnapshot` produces.
+            let warm = match (w0, w1) {
+                (Some(mut w), Some(rest)) => {
+                    w.components.extend(rest.components);
+                    w.selectors = mp.warm_selectors.unwrap_or_default();
+                    Some(w)
+                }
+                _ => None,
+            };
+            let mut end = e0;
+            end.components.extend(e1.components);
+            end.selectors = meta.selector_histogram();
+            let payload = ProbePayload {
+                warm,
+                end: Some(end),
+                attribution: mp.attribution,
+            };
+            payload.emit(source.name(), &build_sequential(decomposition).name());
         }
-        for q in &inputs {
-            q.close();
-        }
-        while !ring.is_empty() {
-            merge_oldest(&mut ring, &mut inflight_records);
-        }
-        Ok(routed)
-    })?;
+    }
     obs::metrics::gauge("component.record_hwm").set(i64::try_from(record_hwm).unwrap_or(i64::MAX));
     span.note("events", routed);
     span.note("scored", stats.indirect);

@@ -21,6 +21,9 @@
 //!   keep out of the sharded pipeline: one shared source pass broadcast
 //!   to per-component workers, merged through the metapredictor with
 //!   byte-identical results;
+//! * [`probe`] — the predictor-internals probe layer (`IBP_PROBE`):
+//!   occupancy/aliasing snapshots and per-site miss attribution sampled
+//!   into the run journal, byte-identical results on or off;
 //! * [`report`] — plain-text and CSV rendering of result tables;
 //! * [`experiments`] — one runner per figure/table of the paper (the
 //!   `ibp-bench` binaries are thin wrappers over these).
@@ -48,6 +51,7 @@ pub mod component;
 pub mod engine;
 pub mod experiments;
 mod parallel;
+pub mod probe;
 pub mod report;
 mod run;
 pub mod shard;

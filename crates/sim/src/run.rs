@@ -4,6 +4,8 @@ use ibp_core::Predictor;
 use ibp_trace::io::TraceIoError;
 use ibp_trace::{chunk_events, EventSource, Trace, TraceChunk, TraceEvent};
 
+use crate::probe::{self, ProbeRun};
+
 /// The outcome of simulating one predictor over one trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunStats {
@@ -110,6 +112,12 @@ pub fn simulate_source_multi<S: EventSource + ?Sized>(
 ) -> Result<Vec<RunStats>, TraceIoError> {
     let mut span = ibp_obs::span("simulate");
     let timer = span.armed().then(std::time::Instant::now);
+    let policy = probe::active_policy();
+    let mut probes: Vec<ProbeRun> = if policy.on() {
+        predictors.iter().map(|_| ProbeRun::new(policy)).collect()
+    } else {
+        Vec::new()
+    };
     let mut stats = vec![RunStats::default(); predictors.len()];
     let mut seen = 0u64;
     let mut chunks = 0u64;
@@ -122,15 +130,49 @@ pub fn simulate_source_multi<S: EventSource + ?Sized>(
                 TraceEvent::Indirect(b) => {
                     seen += 1;
                     let scored = seen > warmup;
-                    for (predictor, stats) in predictors.iter_mut().zip(&mut stats) {
-                        if scored {
-                            let predicted = predictor.predict(b.pc);
-                            stats.indirect += 1;
-                            if predicted != Some(b.target) {
-                                stats.mispredicted += 1;
+                    if probes.is_empty() {
+                        for (predictor, stats) in predictors.iter_mut().zip(&mut stats) {
+                            if scored {
+                                let predicted = predictor.predict(b.pc);
+                                stats.indirect += 1;
+                                if predicted != Some(b.target) {
+                                    stats.mispredicted += 1;
+                                }
+                            }
+                            predictor.update(b.pc, b.target);
+                        }
+                    } else {
+                        for ((predictor, stats), probe) in
+                            predictors.iter_mut().zip(&mut stats).zip(&mut probes)
+                        {
+                            let fp = if probe.deep() {
+                                predictor.probe_key_fingerprint(b.pc)
+                            } else {
+                                None
+                            };
+                            if scored {
+                                let predicted = predictor.predict(b.pc);
+                                stats.indirect += 1;
+                                if predicted != Some(b.target) {
+                                    stats.mispredicted += 1;
+                                }
+                                probe.score(b.pc, predicted, b.target, fp);
+                            }
+                            predictor.update(b.pc, b.target);
+                            probe.note_trained(fp);
+                        }
+                        if seen == warmup {
+                            for (predictor, probe) in predictors.iter().zip(&mut probes) {
+                                probe.sample("warm", &**predictor);
+                            }
+                        } else if policy.deep()
+                            && scored
+                            && (seen - warmup).is_multiple_of(probe::DEEP_INTERVAL)
+                        {
+                            for (predictor, probe) in predictors.iter().zip(&mut probes) {
+                                probe.sample("interval", &**predictor);
                             }
                         }
-                        predictor.update(b.pc, b.target);
                     }
                 }
                 TraceEvent::Cond(b) => {
@@ -155,6 +197,10 @@ pub fn simulate_source_multi<S: EventSource + ?Sized>(
         if !more {
             break;
         }
+    }
+    for (predictor, probe) in predictors.iter().zip(&mut probes) {
+        probe.sample("end", &**predictor);
+        probe.emit(source.name(), &predictor.name());
     }
     if let Some(t0) = timer {
         span.note("trace", source.name());

@@ -47,6 +47,7 @@ use ibp_obs::metrics::{Counter, Histogram, WorkClock};
 use ibp_trace::io::TraceIoError;
 use ibp_trace::{chunk_events, EventSource, TraceChunk, TraceEvent};
 
+use crate::probe::{self, ProbePayload, ProbeRun};
 use crate::run::{simulate_source, RunStats};
 
 /// How many shard workers a run may use.
@@ -328,26 +329,70 @@ impl<T> SpscQueue<T> {
     }
 }
 
+/// Per-worker probe state: the run plus whether the worker's warm
+/// snapshot is still pending. The global warmup window is a stream
+/// prefix, so a worker's slice of the warm-point state is exactly its
+/// state after its last warmup-marked event — i.e. just before its first
+/// scored event (or at worker exit, if it never scores one).
+struct ShardProbe {
+    run: ProbeRun,
+    warm_pending: bool,
+}
+
 /// Folds one batch with exactly the sequential scoring rules: the first
 /// `warmup` indirect events of the batch train without scoring (they are a
 /// prefix — the router attaches warmup counts to the earliest batches
 /// only), every other indirect event is predict → score → update, and
 /// conditional events go to `observe_cond`.
-fn fold_batch(batch: &Batch, predictor: &mut dyn Predictor, stats: &mut RunStats) {
+fn fold_batch(
+    batch: &Batch,
+    predictor: &mut dyn Predictor,
+    stats: &mut RunStats,
+    probe: &mut Option<ShardProbe>,
+) {
     let mut to_warm = batch.warmup;
     for event in batch.chunk.events() {
         match event {
             TraceEvent::Indirect(b) => {
-                if to_warm > 0 {
+                let scored = if to_warm > 0 {
                     to_warm -= 1;
+                    false
                 } else {
-                    let predicted = predictor.predict(b.pc);
-                    stats.indirect += 1;
-                    if predicted != Some(b.target) {
-                        stats.mispredicted += 1;
+                    true
+                };
+                match probe {
+                    None => {
+                        if scored {
+                            let predicted = predictor.predict(b.pc);
+                            stats.indirect += 1;
+                            if predicted != Some(b.target) {
+                                stats.mispredicted += 1;
+                            }
+                        }
+                        predictor.update(b.pc, b.target);
+                    }
+                    Some(p) => {
+                        if scored && p.warm_pending {
+                            p.warm_pending = false;
+                            p.run.sample("warm", predictor);
+                        }
+                        let fp = if p.run.deep() {
+                            predictor.probe_key_fingerprint(b.pc)
+                        } else {
+                            None
+                        };
+                        if scored {
+                            let predicted = predictor.predict(b.pc);
+                            stats.indirect += 1;
+                            if predicted != Some(b.target) {
+                                stats.mispredicted += 1;
+                            }
+                            p.run.score(b.pc, predicted, b.target, fp);
+                        }
+                        predictor.update(b.pc, b.target);
+                        p.run.note_trained(fp);
                     }
                 }
-                predictor.update(b.pc, b.target);
             }
             TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
         }
@@ -435,6 +480,7 @@ pub fn simulate_source_sharded<S: EventSource + ?Sized>(
         exponent = routing.exponent()
     );
     runs_counter().incr();
+    let policy = probe::active_policy();
     let queues: Vec<SpscQueue<Batch>> = (0..shards).map(|_| SpscQueue::new()).collect();
     let (routed, per_shard) = std::thread::scope(|scope| {
         let handles: Vec<_> = queues
@@ -446,11 +492,26 @@ pub fn simulate_source_sharded<S: EventSource + ?Sized>(
                     let mut clock = WorkClock::start();
                     let mut predictor = make();
                     let mut stats = RunStats::default();
+                    let mut probe = policy.on().then(|| ShardProbe {
+                        run: ProbeRun::new(policy),
+                        warm_pending: warmup > 0,
+                    });
                     let mut events = 0u64;
                     while let Some(batch) = queue.pop() {
                         events += batch.chunk.indirect_count();
-                        clock.busy(|| fold_batch(&batch, predictor.as_mut(), &mut stats));
+                        clock.busy(|| {
+                            fold_batch(&batch, predictor.as_mut(), &mut stats, &mut probe);
+                        });
                     }
+                    let payload = probe.map(|mut p| {
+                        // A worker that never scored an event still owns
+                        // its slice of the warm-point state.
+                        if p.warm_pending {
+                            p.run.sample("warm", predictor.as_ref());
+                        }
+                        p.run.sample("end", predictor.as_ref());
+                        p.run.into_payload()
+                    });
                     events_counter().add(events);
                     busy_us_counter().add(clock.busy_us());
                     idle_us_counter().add(clock.idle_us());
@@ -459,7 +520,7 @@ pub fn simulate_source_sharded<S: EventSource + ?Sized>(
                     shard_span.note("busy_us", clock.busy_us());
                     shard_span.note("idle_us", clock.idle_us());
                     shard_span.note("occupancy_pct", clock.util_pct());
-                    stats
+                    (stats, payload)
                 })
             })
             .collect();
@@ -467,7 +528,7 @@ pub fn simulate_source_sharded<S: EventSource + ?Sized>(
         for queue in &queues {
             queue.close();
         }
-        let per_shard: Vec<RunStats> = handles
+        let per_shard: Vec<(RunStats, Option<ProbePayload>)> = handles
             .into_iter()
             .map(|h| h.join().expect("shard worker panicked"))
             .collect();
@@ -479,7 +540,21 @@ pub fn simulate_source_sharded<S: EventSource + ?Sized>(
     // fold's RunStats.
     let merged = per_shard
         .iter()
-        .fold(RunStats::default(), |acc, s| acc.merged(*s));
+        .fold(RunStats::default(), |acc, (s, _)| acc.merged(*s));
+    if policy.on() {
+        // Shardable state partitions disjointly by site, so the per-shard
+        // snapshots merge by addition into exactly the sequential fold's
+        // snapshot; attribution counts add the same way (deep mode's
+        // ever-seen key sets are per-shard, which is exact — keys live in
+        // disjoint site partitions).
+        let mut merged_probe = ProbePayload::default();
+        for (_, payload) in per_shard {
+            if let Some(p) = payload {
+                merged_probe.absorb(p);
+            }
+        }
+        merged_probe.emit(source.name(), &make().name());
+    }
     span.note("events", routed);
     span.note("scored", merged.indirect);
     Ok(merged)
