@@ -22,7 +22,7 @@ use std::fs::File;
 use std::process::ExitCode;
 
 use ibp_core::{Associativity, PredictorConfig, TwoLevelPredictor};
-use ibp_sim::analysis::{simulate_classified_source, simulate_per_site_source};
+use ibp_sim::analysis::{simulate_classified_source, simulate_per_site};
 use ibp_sim::simulate_source;
 use ibp_trace::io::TextSource;
 use ibp_trace::{EventSource, TraceStats};
@@ -251,10 +251,10 @@ fn main() -> ExitCode {
     }
 
     if args.per_site {
-        let mut fresh = cfg.build();
+        let mut fresh = cfg.build_kernel();
         let sites = open(&args.trace)
             .and_then(|mut src| {
-                simulate_per_site_source(&mut src, fresh.as_mut()).map_err(|e| e.to_string())
+                simulate_per_site(&mut src, &mut fresh).map_err(|e| e.to_string())
             })
             .expect("per-site pass");
         println!("\nworst-predicted sites:");

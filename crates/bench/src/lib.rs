@@ -23,6 +23,9 @@
 //! * `IBP_COMPONENTS` — component policy for the hybrid pipeline: `auto`
 //!   (default) splits hybrid cells across component workers on tail-heavy
 //!   queues, `0` disables it, `n` forces `n` workers per hybrid run.
+//! * `IBP_KERNEL` — `0` demotes every fold to the legacy per-event
+//!   dyn-dispatch path (default: monomorphized chunk kernels; results are
+//!   byte-identical either way).
 //! * `IBP_CACHE` — `0` disables the persistent cross-process result cache
 //!   under `results/.cache/` (default enabled).
 //! * `IBP_LOG` — stderr log level: `0` quiet (default), `1` per-sweep and

@@ -7,6 +7,7 @@ use ibp_trace::Addr;
 use crate::history::{HistoryElement, HistorySharing, MAX_PATH};
 use crate::hybrid::HybridPredictor;
 use crate::interleave::Interleaving;
+use crate::kernel::FoldKernel;
 use crate::key::{CompressedKeySpec, KeyScheme, TableSharing};
 use crate::meta::{BpstMetaPredictor, MetaSpec};
 use crate::pattern::PatternCompressor;
@@ -568,6 +569,50 @@ impl PredictorConfig {
                 let first = self.build_component(self.path_len)?;
                 let second = self.build_component(self.path_len2)?;
                 Ok(Box::new(BpstMetaPredictor::new(first, second)))
+            }
+        }
+    }
+
+    /// Builds the chunk-fold kernel for this configuration: every kind
+    /// maps to a monomorphized [`FoldKernel`] variant (BTBs are two-level
+    /// predictors with path length zero), so configs built through this
+    /// path never pay per-event virtual dispatch. Use
+    /// [`FoldKernel::from_boxed`] to wrap externally-built predictors in
+    /// the `Dyn` fallback instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameter combinations; see
+    /// [`try_build_kernel`](PredictorConfig::try_build_kernel) for the
+    /// fallible variant.
+    #[must_use]
+    pub fn build_kernel(&self) -> FoldKernel {
+        self.try_build_kernel()
+            .expect("invalid predictor configuration")
+    }
+
+    /// Builds the chunk-fold kernel, reporting invalid combinations as
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first invalid parameter
+    /// combination found.
+    pub fn try_build_kernel(&self) -> Result<FoldKernel, ConfigError> {
+        self.validate()?;
+        match self.kind {
+            PredictorKind::Btb | PredictorKind::TwoLevel => {
+                Ok(FoldKernel::TwoLevel(self.build_component(self.path_len)?))
+            }
+            PredictorKind::Hybrid => {
+                let first = self.build_component(self.path_len)?;
+                let second = self.build_component(self.path_len2)?;
+                Ok(FoldKernel::Hybrid(HybridPredictor::new(first, second)))
+            }
+            PredictorKind::Bpst => {
+                let first = self.build_component(self.path_len)?;
+                let second = self.build_component(self.path_len2)?;
+                Ok(FoldKernel::Bpst(BpstMetaPredictor::new(first, second)))
             }
         }
     }

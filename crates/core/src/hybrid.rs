@@ -82,6 +82,22 @@ impl HybridPredictor {
     pub fn lookup(&self, pc: Addr) -> Option<TableHit> {
         HybridPredictor::select(self.first.lookup(pc), self.second.lookup(pc))
     }
+
+    /// One fused simulation step: each component computes its key once and
+    /// performs its pre-update lookup and its training in a single pass
+    /// ([`TwoLevelPredictor::fused_step`]), then the usual confidence rule
+    /// arbitrates. Byte-identical to `lookup` + `update`: the components
+    /// share no state, so training the first before looking up the second
+    /// cannot change the second's answer.
+    pub fn fused_step(&mut self, pc: Addr, actual: Addr, want_lookup: bool) -> Option<TableHit> {
+        let first = self.first.fused_step(pc, actual, want_lookup);
+        let second = self.second.fused_step(pc, actual, want_lookup);
+        if want_lookup {
+            HybridPredictor::select(first, second)
+        } else {
+            None
+        }
+    }
 }
 
 impl Predictor for HybridPredictor {

@@ -55,6 +55,7 @@ pub mod ext;
 mod history;
 mod hybrid;
 mod interleave;
+mod kernel;
 mod key;
 mod meta;
 mod pattern;
@@ -71,6 +72,9 @@ pub use counter::SaturatingCounter;
 pub use history::{Histories, HistoryElement, HistoryRegister, HistorySharing, MAX_PATH};
 pub use hybrid::HybridPredictor;
 pub use interleave::Interleaving;
+pub use kernel::{
+    fold_dyn_chunk, fold_two_level_chunk, ChunkScorer, FoldKernel, ProbeSink, WarmTrigger,
+};
 pub use key::{CompressedKeySpec, FullKey, KeyScheme, TableSharing};
 pub use meta::{BpstMetaPredictor, MetaSpec, MetaState};
 pub use pattern::PatternCompressor;

@@ -216,6 +216,29 @@ impl BpstMetaPredictor {
     pub fn prefers_second(&self, pc: Addr) -> bool {
         self.meta.prefers_second(pc)
     }
+
+    /// One fused simulation step. Both components always run a fused
+    /// lookup+train pass (the selector trains on their pre-update answers
+    /// on *every* event, warmup included, exactly as the sequential
+    /// `update` recomputes them); the BPST arbitration is read before the
+    /// selector moves, preserving the sequential predict-then-observe
+    /// order. Byte-identical to `predict` + `update`: component training
+    /// touches no selector state and `observe` touches no component state.
+    pub fn fused_step(&mut self, pc: Addr, actual: Addr, want_lookup: bool) -> Option<Addr> {
+        let first = self.first.fused_step(pc, actual, true);
+        let second = self.second.fused_step(pc, actual, true);
+        let predicted = if want_lookup {
+            self.meta.arbitrate(pc, first, second)
+        } else {
+            None
+        };
+        self.meta.observe(
+            pc,
+            first.map(|h| h.target) == Some(actual),
+            second.map(|h| h.target) == Some(actual),
+        );
+        predicted
+    }
 }
 
 impl Predictor for BpstMetaPredictor {

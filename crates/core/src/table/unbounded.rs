@@ -58,6 +58,32 @@ impl<K: Hash + Eq> UnboundedTable<K> {
         }
     }
 
+    /// Fused [`lookup`](UnboundedTable::lookup) + [`update`](UnboundedTable::update)
+    /// through a single hash probe: returns the pre-update hit (when
+    /// `want_lookup`), then trains the entry — exactly the result of a
+    /// `lookup` followed by an `update` with the same key, at half the
+    /// hashing cost. The chunk-fold kernels lean on this in their inner
+    /// loop.
+    pub fn lookup_update(
+        &mut self,
+        key: K,
+        actual: Addr,
+        rule: UpdateRule,
+        want_lookup: bool,
+    ) -> Option<TableHit> {
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let hit = want_lookup.then(|| e.get().hit());
+                e.get_mut().train(actual, rule);
+                hit
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Slot::new(actual, self.confidence_bits));
+                None
+            }
+        }
+    }
+
     /// Number of distinct patterns stored so far. This is the quantity the
     /// paper reports when discussing pattern-set growth with path length
     /// (§5.1, e.g. *ixx*'s 203 → 9403 patterns from `p = 0` to `p = 12`).

@@ -340,6 +340,51 @@ impl TwoLevelPredictor {
         }
     }
 
+    /// One fused simulation step: computes the history register and table
+    /// key **once**, optionally probes the table (when `want_lookup`),
+    /// trains the entry, and shifts the history — byte-identical to a
+    /// [`lookup`](TwoLevelPredictor::lookup) followed by an
+    /// [`update`](Predictor::update), because `lookup` is pure and no state
+    /// changes between the two in the simulation protocol.
+    ///
+    /// This is the hot inner step of the chunk-fold kernels
+    /// ([`FoldKernel`](crate::FoldKernel)): the legacy dyn fold pays two
+    /// virtual calls and two register/key computations per event; this pays
+    /// none and one. Unbounded backends additionally fold the table's
+    /// lookup and update into a single hash probe.
+    pub fn fused_step(&mut self, pc: Addr, actual: Addr, want_lookup: bool) -> Option<TableHit> {
+        let register = self.histories.register(pc);
+        let hit = match &mut self.mode {
+            Mode::Full {
+                sharing,
+                precision,
+                table,
+            } => {
+                let key = FullKey::build_with_precision(
+                    pc,
+                    register,
+                    self.path_len,
+                    *sharing,
+                    *precision,
+                );
+                table.lookup_update(key, actual, self.rule, want_lookup)
+            }
+            Mode::Compressed { spec, backend } => {
+                let key = spec.key(pc, register);
+                match backend {
+                    Backend::Unbounded(t) => t.lookup_update(key, actual, self.rule, want_lookup),
+                    _ => {
+                        let hit = if want_lookup { backend.lookup(key) } else { None };
+                        backend.update(key, actual, self.rule);
+                        hit
+                    }
+                }
+            }
+        };
+        self.histories.record(pc, actual);
+        hit
+    }
+
     /// Looks up the prediction and its confidence — the interface hybrid
     /// metaprediction builds on (§6.1).
     #[must_use]

@@ -9,9 +9,12 @@
 
 use std::collections::{HashMap, HashSet};
 
-use ibp_core::{Predictor, TwoLevelPredictor};
+use ibp_core::{
+    fold_two_level_chunk, ChunkScorer, FoldKernel, Predictor, ProbeSink, TwoLevelPredictor,
+    WarmTrigger,
+};
 use ibp_trace::io::TraceIoError;
-use ibp_trace::{chunk_events, Addr, EventSource, Trace, TraceChunk, TraceEvent};
+use ibp_trace::{chunk_events, Addr, EventSource, Trace, TraceChunk};
 
 /// Misprediction breakdown by cause for a two-level predictor.
 ///
@@ -101,32 +104,52 @@ pub fn simulate_classified_source<S: EventSource + ?Sized>(
     source: &mut S,
     predictor: &mut TwoLevelPredictor,
 ) -> Result<MissBreakdown, TraceIoError> {
-    let mut seen: HashSet<u64> = HashSet::new();
-    let mut out = MissBreakdown::default();
+    // The kernel fold computes the key fingerprint before each fused
+    // lookup+train step and reports score-then-note_trained — the same
+    // order the old hand-rolled loop classified in, on the monomorphized
+    // fast path.
+    let mut sink = ClassifySink::default();
+    let mut scorer = ChunkScorer::probed(0, &mut sink, WarmTrigger::AtCrossing, None);
     let mut chunk = TraceChunk::default();
     loop {
         let more = source.fill(&mut chunk, chunk_events())?;
-        for event in chunk.events() {
-            match event {
-                TraceEvent::Indirect(b) => {
-                    let key = predictor.key_fingerprint(b.pc);
-                    let hit = predictor.lookup(b.pc);
-                    match hit {
-                        Some(h) if h.target == b.target => out.hits += 1,
-                        Some(_) => out.wrong_target += 1,
-                        None if seen.contains(&key) => out.capacity += 1,
-                        None => out.cold += 1,
-                    }
-                    predictor.update(b.pc, b.target);
-                    seen.insert(key);
-                }
-                TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
-            }
-        }
+        fold_two_level_chunk(predictor, chunk.events(), &mut scorer);
         if !more {
-            return Ok(out);
+            break;
         }
     }
+    Ok(sink.breakdown)
+}
+
+/// A [`ProbeSink`] that classifies every scored event into the
+/// [`MissBreakdown`] taxonomy via the ever-seen fingerprint set.
+#[derive(Debug, Default)]
+struct ClassifySink {
+    seen: HashSet<u64>,
+    breakdown: MissBreakdown,
+}
+
+impl ProbeSink for ClassifySink {
+    fn wants_fingerprint(&self) -> bool {
+        true
+    }
+
+    fn score(&mut self, _pc: Addr, predicted: Option<Addr>, actual: Addr, fp: Option<u64>) {
+        match predicted {
+            Some(p) if p == actual => self.breakdown.hits += 1,
+            Some(_) => self.breakdown.wrong_target += 1,
+            None if fp.is_some_and(|key| self.seen.contains(&key)) => self.breakdown.capacity += 1,
+            None => self.breakdown.cold += 1,
+        }
+    }
+
+    fn note_trained(&mut self, fp: Option<u64>) {
+        if let Some(key) = fp {
+            self.seen.insert(key);
+        }
+    }
+
+    fn sample(&mut self, _point: &str, _predictor: &dyn Predictor) {}
 }
 
 /// Per-site misprediction statistics from one run.
@@ -152,49 +175,34 @@ impl SiteMisses {
     }
 }
 
-/// Simulates a predictor and returns per-site misprediction counts, sorted
-/// by descending misprediction volume.
+/// Folds a [`FoldKernel`] over a chunked [`EventSource`] and returns
+/// per-site misprediction counts, sorted by descending misprediction
+/// volume. Memory is bounded by the chunk size plus one accumulator per
+/// distinct site.
 ///
 /// Useful for the "which sites dominate the misses" question that drives
 /// the paper's focus on a handful of megamorphic branches.
-pub fn simulate_per_site(trace: &Trace, predictor: &mut dyn Predictor) -> Vec<SiteMisses> {
-    simulate_per_site_source(&mut trace.cursor(), predictor)
-        .expect("in-memory source cannot fail")
-}
-
-/// Streaming form of [`simulate_per_site`]: memory is bounded by the chunk
-/// size plus one accumulator per distinct site.
 ///
 /// # Errors
 ///
-/// Propagates the source's I/O or parse failures.
-pub fn simulate_per_site_source<S: EventSource + ?Sized>(
+/// Propagates the source's I/O or parse failures (in-memory sources are
+/// infallible).
+pub fn simulate_per_site<S: EventSource + ?Sized>(
     source: &mut S,
-    predictor: &mut dyn Predictor,
+    kernel: &mut FoldKernel,
 ) -> Result<Vec<SiteMisses>, TraceIoError> {
-    let mut per_site: HashMap<Addr, (u64, u64)> = HashMap::new();
+    let mut sink = SiteSink::default();
+    let mut scorer = ChunkScorer::probed(0, &mut sink, WarmTrigger::AtCrossing, None);
     let mut chunk = TraceChunk::default();
     loop {
         let more = source.fill(&mut chunk, chunk_events())?;
-        for event in chunk.events() {
-            match event {
-                TraceEvent::Indirect(b) => {
-                    let predicted = predictor.predict(b.pc);
-                    let entry = per_site.entry(b.pc).or_insert((0, 0));
-                    entry.0 += 1;
-                    if predicted != Some(b.target) {
-                        entry.1 += 1;
-                    }
-                    predictor.update(b.pc, b.target);
-                }
-                TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
-            }
-        }
+        kernel.fold_chunk(chunk.events(), &mut scorer);
         if !more {
             break;
         }
     }
-    let mut out: Vec<SiteMisses> = per_site
+    let mut out: Vec<SiteMisses> = sink
+        .per_site
         .into_iter()
         .map(|(pc, (executions, mispredicted))| SiteMisses {
             pc,
@@ -204,6 +212,30 @@ pub fn simulate_per_site_source<S: EventSource + ?Sized>(
         .collect();
     out.sort_by(|a, b| b.mispredicted.cmp(&a.mispredicted).then(a.pc.cmp(&b.pc)));
     Ok(out)
+}
+
+/// A [`ProbeSink`] accumulating per-site execution/misprediction counts.
+#[derive(Debug, Default)]
+struct SiteSink {
+    per_site: HashMap<Addr, (u64, u64)>,
+}
+
+impl ProbeSink for SiteSink {
+    fn wants_fingerprint(&self) -> bool {
+        false
+    }
+
+    fn score(&mut self, pc: Addr, predicted: Option<Addr>, actual: Addr, _fp: Option<u64>) {
+        let entry = self.per_site.entry(pc).or_insert((0, 0));
+        entry.0 += 1;
+        if predicted != Some(actual) {
+            entry.1 += 1;
+        }
+    }
+
+    fn note_trained(&mut self, _fp: Option<u64>) {}
+
+    fn sample(&mut self, _point: &str, _predictor: &dyn Predictor) {}
 }
 
 /// Counts the distinct `(branch, path)` patterns a trace generates at a
@@ -226,14 +258,14 @@ pub fn pattern_census_source<S: EventSource + ?Sized>(
 ) -> Result<usize, TraceIoError> {
     let mut predictor =
         TwoLevelPredictor::unconstrained(path_len, ibp_core::HistorySharing::GLOBAL);
+    // An infinite warmup keeps every event unscored: the kernel fold then
+    // trains the table without ever probing it, exactly like the old
+    // update-only loop.
+    let mut scorer = ChunkScorer::new(u64::MAX);
     let mut chunk = TraceChunk::default();
     loop {
         let more = source.fill(&mut chunk, chunk_events())?;
-        for event in chunk.events() {
-            if let TraceEvent::Indirect(b) = event {
-                predictor.update(b.pc, b.target);
-            }
-        }
+        fold_two_level_chunk(&mut predictor, chunk.events(), &mut scorer);
         if !more {
             return Ok(predictor.stored_patterns());
         }
@@ -310,8 +342,8 @@ mod tests {
             t.push_indirect(a(0x100), a(0x9000), BranchKind::Switch);
             t.push_indirect(a(0x200), a(0xA000 + (i % 2) * 4), BranchKind::Switch);
         }
-        let mut p = ibp_core::PredictorConfig::btb().build();
-        let sites = simulate_per_site(&t, p.as_mut());
+        let mut k = ibp_core::PredictorConfig::btb().build_kernel();
+        let sites = simulate_per_site(&mut t.cursor(), &mut k).expect("in-memory source");
         assert_eq!(sites.len(), 2);
         assert_eq!(sites[0].pc, a(0x200));
         assert!(sites[0].rate() > 0.9);

@@ -56,7 +56,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use ibp_core::snapshot::Snapshot;
 use ibp_core::table::TableHit;
 use ibp_core::{
-    BpstMetaPredictor, Decomposition, HybridPredictor, MetaSpec, MetaState, Predictor,
+    BpstMetaPredictor, Decomposition, FoldKernel, HybridPredictor, MetaSpec, MetaState, Predictor,
 };
 use ibp_obs as obs;
 use ibp_obs::metrics::{Counter, Histogram, WorkClock};
@@ -64,7 +64,7 @@ use ibp_trace::io::TraceIoError;
 use ibp_trace::{chunk_events, Addr, EventSource, TraceChunk, TraceEvent};
 
 use crate::probe::{self, Attribution, ProbePayload, ProbePolicy};
-use crate::run::{simulate_source, RunStats};
+use crate::run::{simulate_kernel, RunStats};
 use crate::shard::{threads_available, SpscQueue, QUEUE_CAPACITY};
 
 /// Whether hybrid cells may run the component-parallel fold.
@@ -225,10 +225,10 @@ struct MergeProbe {
     warm_selectors: Option<Vec<u64>>,
 }
 
-/// Rebuilds the sequential hybrid from its decomposition — the fallback
-/// when the budget grants no parallelism, and the definition the pipeline
-/// is tested against.
-fn build_sequential(d: &Decomposition) -> Box<dyn Predictor> {
+/// Rebuilds the sequential hybrid from its decomposition as a chunk-fold
+/// kernel — the fallback when the budget grants no parallelism, and the
+/// definition the pipeline is tested against.
+fn build_sequential(d: &Decomposition) -> FoldKernel {
     let first = d
         .first
         .try_build_two_level()
@@ -238,10 +238,12 @@ fn build_sequential(d: &Decomposition) -> Box<dyn Predictor> {
         .try_build_two_level()
         .expect("decomposed component config builds");
     match d.meta {
-        MetaSpec::Confidence => Box::new(HybridPredictor::new(first, second)),
-        MetaSpec::Bpst { selector_bits } => {
-            Box::new(BpstMetaPredictor::with_selector_bits(first, second, selector_bits))
-        }
+        MetaSpec::Confidence => FoldKernel::Hybrid(HybridPredictor::new(first, second)),
+        MetaSpec::Bpst { selector_bits } => FoldKernel::Bpst(BpstMetaPredictor::with_selector_bits(
+            first,
+            second,
+            selector_bits,
+        )),
     }
 }
 
@@ -311,8 +313,11 @@ fn component_worker(
             for event in chunk.events() {
                 match event {
                     TraceEvent::Indirect(b) => {
-                        records.push(PredRecord::pack(predictor.lookup(b.pc)));
-                        predictor.update(b.pc, b.target);
+                        // Fused pre-update lookup + train: one key
+                        // computation and (for unbounded backends) one
+                        // hash probe per event, same record as
+                        // `lookup` followed by `update`.
+                        records.push(PredRecord::pack(predictor.fused_step(b.pc, b.target, true)));
                         if probing {
                             probe_seen += 1;
                             if probe_seen == warmup {
@@ -392,8 +397,8 @@ pub fn simulate_source_components_with_chunk<S: EventSource + ?Sized>(
 ) -> Result<RunStats, TraceIoError> {
     assert!(chunk > 0, "chunk granularity must be positive");
     if workers <= 1 {
-        let mut p = build_sequential(decomposition);
-        return simulate_source(source, p.as_mut(), warmup);
+        let mut kernel = build_sequential(decomposition);
+        return simulate_kernel(source, &mut kernel, warmup);
     }
     let meta_name = match decomposition.meta {
         MetaSpec::Confidence => "confidence",
@@ -519,7 +524,11 @@ pub fn simulate_source_components_with_chunk<S: EventSource + ?Sized>(
                 end: Some(end),
                 attribution: mp.attribution,
             };
-            payload.emit(source.name(), &build_sequential(decomposition).name());
+            payload.emit(
+                source.name(),
+                &build_sequential(decomposition).as_predictor().name(),
+                "component-fold",
+            );
         }
     }
     obs::metrics::gauge("component.record_hwm").set(i64::try_from(record_hwm).unwrap_or(i64::MAX));

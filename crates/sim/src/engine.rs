@@ -47,7 +47,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use ibp_core::{Decomposition, Predictor, PredictorConfig, ShardRouting};
+use ibp_core::{Decomposition, FoldKernel, Predictor, PredictorConfig, ShardRouting};
 use ibp_obs as obs;
 use ibp_obs::metrics::Counter;
 use ibp_workload::Benchmark;
@@ -55,9 +55,21 @@ use ibp_workload::Benchmark;
 use crate::cache::CacheKey;
 use crate::component;
 use crate::parallel::parallel_map;
-use crate::run::{simulate_source_multi, simulate_warm, RunStats};
+use crate::run::{kernel_enabled, simulate_kernel, simulate_source_kernels, RunStats};
 use crate::shard;
 use crate::suite::{Suite, SuiteResult};
+
+/// Demotes a freshly built kernel to the legacy per-event dispatch path
+/// when `IBP_KERNEL=0` (or [`crate::override_kernel`]) asks for it — the
+/// one place the engine consults the knob, so every scheduling mode
+/// (sequential, site-shard, component and streamed groups) obeys it.
+fn gate_kernel(kernel: FoldKernel) -> FoldKernel {
+    if kernel_enabled() {
+        kernel
+    } else {
+        kernel.demote()
+    }
+}
 
 fn cache() -> &'static Mutex<HashMap<CacheKey, RunStats>> {
     static CACHE: OnceLock<Mutex<HashMap<CacheKey, RunStats>>> = OnceLock::new();
@@ -208,7 +220,7 @@ struct Job<'a> {
     key: String,
     routing: Option<ShardRouting>,
     decomposition: Option<Decomposition>,
-    make: Box<dyn Fn() -> Box<dyn Predictor> + Sync + 'a>,
+    make: Box<dyn Fn() -> FoldKernel + Sync + 'a>,
 }
 
 /// A batch of predictor configurations to evaluate over one suite.
@@ -252,7 +264,7 @@ impl<'a> Sweep<'a> {
             key,
             routing,
             decomposition,
-            make: Box::new(move || cfg.build()),
+            make: Box::new(move || gate_kernel(cfg.build_kernel())),
         });
         self
     }
@@ -270,10 +282,12 @@ impl<'a> Sweep<'a> {
         self.jobs.push(Job {
             key: key.into(),
             // Custom predictors carry no config to analyse, so they never
-            // shard or decompose — correctness first.
+            // shard or decompose — correctness first. They fold through
+            // the kernel's `Dyn` fallback: same chunk skeleton, legacy
+            // per-event dispatch.
             routing: None,
             decomposition: None,
-            make: Box::new(make),
+            make: Box::new(move || FoldKernel::from_boxed(make())),
         });
         self
     }
@@ -378,8 +392,9 @@ impl<'a> Sweep<'a> {
                     )
                     .expect("in-memory source cannot fail")
                 } else {
-                    let mut p = (self.jobs[j].make)();
-                    simulate_warm(trace, p.as_mut(), self.warmup)
+                    let mut kernel = (self.jobs[j].make)();
+                    simulate_kernel(&mut trace.cursor(), &mut kernel, self.warmup)
+                        .expect("in-memory source cannot fail")
                 };
                 cell.note("events", trace.indirect_count());
                 simulated_events().add(trace.indirect_count());
@@ -541,13 +556,11 @@ impl<'a> Sweep<'a> {
                     }
                 }
             }
-            let mut predictors: Vec<Box<dyn Predictor>> = members
+            let mut kernels: Vec<FoldKernel> = members
                 .iter()
                 .map(|&u| (self.jobs[units[u].0].make)())
                 .collect();
-            let mut refs: Vec<&mut (dyn Predictor + 'static)> =
-                predictors.iter_mut().map(|p| &mut **p).collect();
-            simulate_source_multi(&mut *source, &mut refs, self.warmup)
+            simulate_source_kernels(&mut *source, &mut kernels, self.warmup)
                 .expect("suite sources cannot fail")
         });
         let mut out: Vec<Option<RunStats>> = vec![None; units.len()];

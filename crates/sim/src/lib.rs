@@ -58,5 +58,8 @@ pub mod shard;
 mod suite;
 
 pub use parallel::parallel_map;
-pub use run::{simulate, simulate_source, simulate_source_multi, simulate_warm, RunStats};
+pub use run::{
+    kernel_enabled, override_kernel, simulate, simulate_kernel, simulate_source,
+    simulate_source_kernels, simulate_source_multi, simulate_warm, RunStats,
+};
 pub use suite::{Suite, SuiteResult};

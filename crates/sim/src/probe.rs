@@ -283,11 +283,13 @@ impl ProbeRun {
     }
 
     /// Emits one `probe` journal record per sample; the `end` sample
-    /// carries the attribution and top-site payload.
+    /// carries the attribution and top-site payload. Sequential folds own
+    /// their `ProbeRun` directly, so records are journaled with
+    /// `sched_mode = "sequential"`.
     pub fn emit(&self, trace: &str, predictor: &str) {
         for (point, snapshot) in &self.samples {
             let attribution = (point == "end").then_some(&self.attribution);
-            emit_record(trace, predictor, point, snapshot, attribution);
+            emit_record(trace, predictor, point, "sequential", snapshot, attribution);
         }
     }
 
@@ -310,6 +312,27 @@ impl ProbeRun {
             end,
             attribution: self.attribution,
         }
+    }
+}
+
+/// The chunk-fold kernels report through this sink exactly as the legacy
+/// per-event fold called these methods directly: fingerprints only under
+/// deep, `score` before `note_trained`, read-only samples.
+impl ibp_core::ProbeSink for ProbeRun {
+    fn wants_fingerprint(&self) -> bool {
+        self.deep()
+    }
+
+    fn score(&mut self, pc: Addr, predicted: Option<Addr>, actual: Addr, fp: Option<u64>) {
+        ProbeRun::score(self, pc, predicted, actual, fp);
+    }
+
+    fn note_trained(&mut self, fp: Option<u64>) {
+        ProbeRun::note_trained(self, fp);
+    }
+
+    fn sample(&mut self, point: &str, predictor: &dyn Predictor) {
+        ProbeRun::sample(self, point, predictor);
     }
 }
 
@@ -345,13 +368,16 @@ impl ProbePayload {
     }
 
     /// Emits the warm and end `probe` records (attribution rides on the
-    /// end record, mirroring [`ProbeRun::emit`]).
-    pub fn emit(&self, trace: &str, predictor: &str) {
+    /// end record, mirroring [`ProbeRun::emit`]). `sched_mode` names the
+    /// pipeline that produced this merged payload (`"site-shard"` or
+    /// `"component-fold"`), so `obs_report --internals` can explain why
+    /// deep interval samples are absent from a parallel run's journal.
+    pub fn emit(&self, trace: &str, predictor: &str, sched_mode: &str) {
         if let Some(warm) = &self.warm {
-            emit_record(trace, predictor, "warm", warm, None);
+            emit_record(trace, predictor, "warm", sched_mode, warm, None);
         }
         if let Some(end) = &self.end {
-            emit_record(trace, predictor, "end", end, Some(&self.attribution));
+            emit_record(trace, predictor, "end", sched_mode, end, Some(&self.attribution));
         }
     }
 }
@@ -438,11 +464,15 @@ fn top_sites_json(a: &Attribution) -> Json {
     )
 }
 
-/// Writes one `probe` journal record for a snapshot point.
+/// Writes one `probe` journal record for a snapshot point. `sched_mode`
+/// records which scheduling pipeline produced the sample (`"sequential"`,
+/// `"site-shard"` or `"component-fold"`) — parallel modes never take deep
+/// interval samples, and the reader uses this field to say so.
 pub fn emit_record(
     trace: &str,
     predictor: &str,
     point: &str,
+    sched_mode: &str,
     snapshot: &Snapshot,
     attribution: Option<&Attribution>,
 ) {
@@ -453,6 +483,7 @@ pub fn emit_record(
     let mut fields = vec![
         ("trace".to_string(), Json::Str(trace.to_string())),
         ("point".to_string(), Json::Str(point.to_string())),
+        ("sched_mode".to_string(), Json::Str(sched_mode.to_string())),
         ("components".to_string(), components),
         ("selectors".to_string(), selectors),
     ];

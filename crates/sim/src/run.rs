@@ -1,10 +1,89 @@
 //! Scoring a predictor over a trace or streaming event source.
+//!
+//! Every fold in this module runs through the chunk-fold kernel layer
+//! ([`ibp_core::FoldKernel`]): one dispatch per chunk into a monomorphized
+//! per-event loop for the hot predictor families, with borrowed
+//! `dyn Predictor`s folded through the same skeleton on the legacy
+//! per-event dispatch path. `IBP_KERNEL=0` (or
+//! [`override_kernel`]`(Some(false))`) demotes every kernel the engine
+//! builds to that legacy path, which is how the `kernel_speedup` bin
+//! measures both sides in one process.
 
-use ibp_core::Predictor;
+use std::sync::{Mutex, OnceLock};
+
+use ibp_core::{fold_dyn_chunk, ChunkScorer, FoldKernel, Predictor, WarmTrigger};
 use ibp_trace::io::TraceIoError;
-use ibp_trace::{chunk_events, EventSource, Trace, TraceChunk, TraceEvent};
+use ibp_trace::{chunk_events, EventSource, Trace, TraceChunk};
 
 use crate::probe::{self, ProbeRun};
+
+fn env_kernel() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("IBP_KERNEL") {
+        Ok(raw) => match raw.as_str() {
+            "" | "1" => true,
+            "0" => false,
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid IBP_KERNEL={raw:?} \
+                     (expected 0 or 1); kernel folds on"
+                );
+                true
+            }
+        },
+        Err(_) => true,
+    })
+}
+
+fn kernel_override_slot() -> &'static Mutex<Option<bool>> {
+    static SLOT: Mutex<Option<bool>> = Mutex::new(None);
+    &SLOT
+}
+
+/// Replaces the `IBP_KERNEL` setting for this process (`None` restores the
+/// environment's). For measurement binaries that compare the monomorphized
+/// and legacy folds within one process — the environment variable is read
+/// once.
+pub fn override_kernel(enabled: Option<bool>) {
+    *kernel_override_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = enabled;
+}
+
+/// Whether engine-built kernels fold through their monomorphized variants
+/// (`true`, the default) or are demoted to the legacy per-event dispatch
+/// path (`IBP_KERNEL=0` or [`override_kernel`]`(Some(false))`).
+#[must_use]
+pub fn kernel_enabled() -> bool {
+    kernel_override_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(env_kernel)
+}
+
+/// One simulation lane: either an owned kernel (monomorphized fold) or a
+/// borrowed predictor (legacy per-event dispatch through the same
+/// skeleton). The driver below is identical for both.
+enum Lane<'a> {
+    Kernel(&'a mut FoldKernel),
+    Dyn(&'a mut (dyn Predictor + 'static)),
+}
+
+impl Lane<'_> {
+    fn fold_chunk(&mut self, events: &[ibp_trace::TraceEvent], scorer: &mut ChunkScorer<'_>) {
+        match self {
+            Lane::Kernel(k) => k.fold_chunk(events, scorer),
+            Lane::Dyn(p) => fold_dyn_chunk(*p, events, scorer),
+        }
+    }
+
+    fn predictor(&self) -> &dyn Predictor {
+        match self {
+            Lane::Kernel(k) => k.as_predictor(),
+            Lane::Dyn(p) => *p,
+        }
+    }
+}
 
 /// The outcome of simulating one predictor over one trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -110,77 +189,79 @@ pub fn simulate_source_multi<S: EventSource + ?Sized>(
     predictors: &mut [&mut (dyn Predictor + 'static)],
     warmup: u64,
 ) -> Result<Vec<RunStats>, TraceIoError> {
+    let mut lanes: Vec<Lane<'_>> = predictors.iter_mut().map(|p| Lane::Dyn(&mut **p)).collect();
+    fold_source_lanes(source, &mut lanes, warmup)
+}
+
+/// Folds one chunk-fold kernel over a streaming source — the fast,
+/// single-dispatch-per-chunk counterpart of [`simulate_source`].
+///
+/// # Errors
+///
+/// Propagates the source's I/O or parse failures.
+pub fn simulate_kernel<S: EventSource + ?Sized>(
+    source: &mut S,
+    kernel: &mut FoldKernel,
+    warmup: u64,
+) -> Result<RunStats, TraceIoError> {
+    let mut stats = simulate_source_kernels(source, std::slice::from_mut(kernel), warmup)?;
+    Ok(stats.pop().expect("one result per kernel"))
+}
+
+/// Folds several kernels over **one** pass of a streaming source — the
+/// kernel counterpart of [`simulate_source_multi`], used by the sweep
+/// engine's streamed groups. Within each chunk the lanes fold one after
+/// another, which yields per-lane results identical to the legacy
+/// event-interleaved order: lanes share no state, and each lane sees the
+/// same events in the same order either way.
+///
+/// # Errors
+///
+/// Propagates the source's I/O or parse failures.
+pub fn simulate_source_kernels<S: EventSource + ?Sized>(
+    source: &mut S,
+    kernels: &mut [FoldKernel],
+    warmup: u64,
+) -> Result<Vec<RunStats>, TraceIoError> {
+    let mut lanes: Vec<Lane<'_>> = kernels.iter_mut().map(Lane::Kernel).collect();
+    fold_source_lanes(source, &mut lanes, warmup)
+}
+
+/// The one fold driver behind every sequential simulation: reads chunks,
+/// folds each lane over the chunk (one dispatch per lane per chunk), and
+/// carries the journal span/chunk events and the probe layer's sampling
+/// protocol exactly as the per-event fold did.
+fn fold_source_lanes<S: EventSource + ?Sized>(
+    source: &mut S,
+    lanes: &mut [Lane<'_>],
+    warmup: u64,
+) -> Result<Vec<RunStats>, TraceIoError> {
     let mut span = ibp_obs::span("simulate");
     let timer = span.armed().then(std::time::Instant::now);
     let policy = probe::active_policy();
     let mut probes: Vec<ProbeRun> = if policy.on() {
-        predictors.iter().map(|_| ProbeRun::new(policy)).collect()
+        lanes.iter().map(|_| ProbeRun::new(policy)).collect()
     } else {
         Vec::new()
     };
-    let mut stats = vec![RunStats::default(); predictors.len()];
+    let interval = policy.deep().then_some(probe::DEEP_INTERVAL);
+    let mut scorers: Vec<ChunkScorer<'_>> = if probes.is_empty() {
+        lanes.iter().map(|_| ChunkScorer::new(warmup)).collect()
+    } else {
+        probes
+            .iter_mut()
+            .map(|p| ChunkScorer::probed(warmup, p, WarmTrigger::AtCrossing, interval))
+            .collect()
+    };
     let mut seen = 0u64;
     let mut chunks = 0u64;
     let mut chunk = TraceChunk::default();
     loop {
         let chunk_timer = timer.map(|_| std::time::Instant::now());
         let more = source.fill(&mut chunk, chunk_events())?;
-        for event in chunk.events() {
-            match event {
-                TraceEvent::Indirect(b) => {
-                    seen += 1;
-                    let scored = seen > warmup;
-                    if probes.is_empty() {
-                        for (predictor, stats) in predictors.iter_mut().zip(&mut stats) {
-                            if scored {
-                                let predicted = predictor.predict(b.pc);
-                                stats.indirect += 1;
-                                if predicted != Some(b.target) {
-                                    stats.mispredicted += 1;
-                                }
-                            }
-                            predictor.update(b.pc, b.target);
-                        }
-                    } else {
-                        for ((predictor, stats), probe) in
-                            predictors.iter_mut().zip(&mut stats).zip(&mut probes)
-                        {
-                            let fp = if probe.deep() {
-                                predictor.probe_key_fingerprint(b.pc)
-                            } else {
-                                None
-                            };
-                            if scored {
-                                let predicted = predictor.predict(b.pc);
-                                stats.indirect += 1;
-                                if predicted != Some(b.target) {
-                                    stats.mispredicted += 1;
-                                }
-                                probe.score(b.pc, predicted, b.target, fp);
-                            }
-                            predictor.update(b.pc, b.target);
-                            probe.note_trained(fp);
-                        }
-                        if seen == warmup {
-                            for (predictor, probe) in predictors.iter().zip(&mut probes) {
-                                probe.sample("warm", &**predictor);
-                            }
-                        } else if policy.deep()
-                            && scored
-                            && (seen - warmup).is_multiple_of(probe::DEEP_INTERVAL)
-                        {
-                            for (predictor, probe) in predictors.iter().zip(&mut probes) {
-                                probe.sample("interval", &**predictor);
-                            }
-                        }
-                    }
-                }
-                TraceEvent::Cond(b) => {
-                    for predictor in predictors.iter_mut() {
-                        predictor.observe_cond(b.pc, b.outcome());
-                    }
-                }
-            }
+        seen += chunk.indirect_count();
+        for (lane, scorer) in lanes.iter_mut().zip(&mut scorers) {
+            lane.fold_chunk(chunk.events(), scorer);
         }
         chunks += 1;
         if let Some(t0) = chunk_timer {
@@ -198,16 +279,24 @@ pub fn simulate_source_multi<S: EventSource + ?Sized>(
             break;
         }
     }
-    for (predictor, probe) in predictors.iter().zip(&mut probes) {
-        probe.sample("end", &**predictor);
-        probe.emit(source.name(), &predictor.name());
+    let stats: Vec<RunStats> = scorers
+        .iter()
+        .map(|s| RunStats {
+            indirect: s.indirect(),
+            mispredicted: s.mispredicted(),
+        })
+        .collect();
+    drop(scorers);
+    for (lane, probe) in lanes.iter().zip(&mut probes) {
+        probe.sample("end", lane.predictor());
+        probe.emit(source.name(), &lane.predictor().name());
     }
     if let Some(t0) = timer {
         span.note("trace", source.name());
         span.note("events", seen);
         span.note("warmup", seen.min(warmup));
         span.note("scored", stats.first().map_or(0, |s| s.indirect));
-        span.note("predictors", predictors.len());
+        span.note("predictors", lanes.len());
         span.note("chunks", chunks);
         let secs = t0.elapsed().as_secs_f64();
         if secs > 0.0 {

@@ -41,14 +41,14 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-use ibp_core::{Predictor, ShardRouting};
+use ibp_core::{ChunkScorer, FoldKernel, ShardRouting, WarmTrigger};
 use ibp_obs as obs;
 use ibp_obs::metrics::{Counter, Histogram, WorkClock};
 use ibp_trace::io::TraceIoError;
 use ibp_trace::{chunk_events, EventSource, TraceChunk, TraceEvent};
 
 use crate::probe::{self, ProbePayload, ProbeRun};
-use crate::run::{simulate_source, RunStats};
+use crate::run::{simulate_kernel, RunStats};
 
 /// How many shard workers a run may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,7 +222,12 @@ fn tail_ratio(durs: &mut [u64]) -> Option<f64> {
     if mean <= 0.0 {
         return None;
     }
-    let p95 = durs[(durs.len() - 1) * 95 / 100] as f64;
+    // Nearest-rank p95, 0-based ceil(0.95 * n) capped at the last cell.
+    // The old `(n - 1) * 95 / 100` rounded *down*: at n = 20 it indexed
+    // cell 18, so one straggler in 20 — exactly the regime the auto
+    // scheduler exists for — read as a flat tail and never fanned out.
+    let idx = (durs.len() * 95).div_ceil(100).min(durs.len() - 1);
+    let p95 = durs[idx] as f64;
     Some(p95 / mean)
 }
 
@@ -329,77 +334,6 @@ impl<T> SpscQueue<T> {
     }
 }
 
-/// Per-worker probe state: the run plus whether the worker's warm
-/// snapshot is still pending. The global warmup window is a stream
-/// prefix, so a worker's slice of the warm-point state is exactly its
-/// state after its last warmup-marked event — i.e. just before its first
-/// scored event (or at worker exit, if it never scores one).
-struct ShardProbe {
-    run: ProbeRun,
-    warm_pending: bool,
-}
-
-/// Folds one batch with exactly the sequential scoring rules: the first
-/// `warmup` indirect events of the batch train without scoring (they are a
-/// prefix — the router attaches warmup counts to the earliest batches
-/// only), every other indirect event is predict → score → update, and
-/// conditional events go to `observe_cond`.
-fn fold_batch(
-    batch: &Batch,
-    predictor: &mut dyn Predictor,
-    stats: &mut RunStats,
-    probe: &mut Option<ShardProbe>,
-) {
-    let mut to_warm = batch.warmup;
-    for event in batch.chunk.events() {
-        match event {
-            TraceEvent::Indirect(b) => {
-                let scored = if to_warm > 0 {
-                    to_warm -= 1;
-                    false
-                } else {
-                    true
-                };
-                match probe {
-                    None => {
-                        if scored {
-                            let predicted = predictor.predict(b.pc);
-                            stats.indirect += 1;
-                            if predicted != Some(b.target) {
-                                stats.mispredicted += 1;
-                            }
-                        }
-                        predictor.update(b.pc, b.target);
-                    }
-                    Some(p) => {
-                        if scored && p.warm_pending {
-                            p.warm_pending = false;
-                            p.run.sample("warm", predictor);
-                        }
-                        let fp = if p.run.deep() {
-                            predictor.probe_key_fingerprint(b.pc)
-                        } else {
-                            None
-                        };
-                        if scored {
-                            let predicted = predictor.predict(b.pc);
-                            stats.indirect += 1;
-                            if predicted != Some(b.target) {
-                                stats.mispredicted += 1;
-                            }
-                            p.run.score(b.pc, predicted, b.target, fp);
-                        }
-                        predictor.update(b.pc, b.target);
-                        p.run.note_trained(fp);
-                    }
-                }
-            }
-            TraceEvent::Cond(b) => predictor.observe_cond(b.pc, b.outcome()),
-        }
-    }
-    debug_assert_eq!(to_warm, 0, "router allocated more warmup than events");
-}
-
 /// The router loop: pull source chunks, allocate the global warmup prefix
 /// to shards in event order, partition by site region, push batches.
 fn route_events<S: EventSource + ?Sized>(
@@ -453,10 +387,14 @@ fn route_events<S: EventSource + ?Sized>(
 /// came from [`shardable`](ibp_core::PredictorConfig::shardable) on the
 /// configuration that `make` builds.
 ///
-/// Each worker constructs its own predictor via `make`; the routing
-/// invariant guarantees the workers' state partitions never overlap, so
-/// per-site state evolves exactly as in one sequential instance. A shard
-/// count of one (or zero) falls back to the sequential fold directly.
+/// Each worker constructs its own chunk-fold kernel via `make` and folds
+/// its batches through [`FoldKernel::fold_chunk`] — one dispatch per batch,
+/// with the scorer's warmup countdown overwritten per batch from the
+/// router's global-prefix allocation (exactly the sequential scoring
+/// rules). The routing invariant guarantees the workers' state partitions
+/// never overlap, so per-site state evolves exactly as in one sequential
+/// instance. A shard count of one (or zero) falls back to the sequential
+/// fold directly.
 ///
 /// # Errors
 ///
@@ -464,14 +402,14 @@ fn route_events<S: EventSource + ?Sized>(
 /// first; their partial stats are discarded).
 pub fn simulate_source_sharded<S: EventSource + ?Sized>(
     source: &mut S,
-    make: &(dyn Fn() -> Box<dyn Predictor> + Sync),
+    make: &(dyn Fn() -> FoldKernel + Sync),
     routing: ShardRouting,
     shards: usize,
     warmup: u64,
 ) -> Result<RunStats, TraceIoError> {
     if shards <= 1 {
-        let mut p = make();
-        return simulate_source(source, p.as_mut(), warmup);
+        let mut kernel = make();
+        return simulate_kernel(source, &mut kernel, warmup);
     }
     let mut span = obs::span!(
         "shard_pipeline",
@@ -490,27 +428,43 @@ pub fn simulate_source_sharded<S: EventSource + ?Sized>(
                 scope.spawn(move || {
                     let mut shard_span = obs::span!("shard", shard = i);
                     let mut clock = WorkClock::start();
-                    let mut predictor = make();
-                    let mut stats = RunStats::default();
-                    let mut probe = policy.on().then(|| ShardProbe {
-                        run: ProbeRun::new(policy),
-                        warm_pending: warmup > 0,
-                    });
+                    let mut kernel = make();
+                    let mut probe = policy.on().then(|| ProbeRun::new(policy));
+                    // The global warmup window is a stream prefix, so a
+                    // worker's slice of the warm-point state is its state
+                    // just before its first scored event (or at worker
+                    // exit, if it never scores one). With no warmup there
+                    // is no warm sample at all, hence the trigger choice:
+                    // `AtCrossing` can never fire on a zero countdown.
+                    // Interval samples stay sequential-only (`None`).
+                    let mut scorer = match probe.as_mut() {
+                        Some(p) if warmup > 0 => {
+                            ChunkScorer::probed(0, p, WarmTrigger::BeforeFirstScored, None)
+                        }
+                        Some(p) => ChunkScorer::probed(0, p, WarmTrigger::AtCrossing, None),
+                        None => ChunkScorer::new(0),
+                    };
                     let mut events = 0u64;
                     while let Some(batch) = queue.pop() {
                         events += batch.chunk.indirect_count();
                         clock.busy(|| {
-                            fold_batch(&batch, predictor.as_mut(), &mut stats, &mut probe);
+                            scorer.set_warmup(batch.warmup);
+                            kernel.fold_chunk(batch.chunk.events(), &mut scorer);
                         });
                     }
+                    let stats = RunStats {
+                        indirect: scorer.indirect(),
+                        mispredicted: scorer.mispredicted(),
+                    };
+                    let warm_pending = scorer.warm_pending();
                     let payload = probe.map(|mut p| {
                         // A worker that never scored an event still owns
                         // its slice of the warm-point state.
-                        if p.warm_pending {
-                            p.run.sample("warm", predictor.as_ref());
+                        if warm_pending {
+                            p.sample("warm", kernel.as_predictor());
                         }
-                        p.run.sample("end", predictor.as_ref());
-                        p.run.into_payload()
+                        p.sample("end", kernel.as_predictor());
+                        p.into_payload()
                     });
                     events_counter().add(events);
                     busy_us_counter().add(clock.busy_us());
@@ -553,7 +507,7 @@ pub fn simulate_source_sharded<S: EventSource + ?Sized>(
                 merged_probe.absorb(p);
             }
         }
-        merged_probe.emit(source.name(), &make().name());
+        merged_probe.emit(source.name(), &make().as_predictor().name(), "site-shard");
     }
     span.note("events", routed);
     span.note("scored", merged.indirect);
@@ -591,7 +545,7 @@ mod tests {
             let mut p = cfg.build();
             let expected = simulate_warm(&t, p.as_mut(), warmup);
             for shards in [1usize, 2, 4, 7] {
-                let make = || cfg.build();
+                let make = || cfg.build_kernel();
                 let got = simulate_source_sharded(&mut t.cursor(), &make, routing, shards, warmup)
                     .expect("in-memory source");
                 assert_eq!(got, expected, "shards = {shards}, warmup = {warmup}");
@@ -609,7 +563,7 @@ mod tests {
         assert!(routing.routes_cond());
         let mut p = cfg.build();
         let expected = simulate_warm(&t, p.as_mut(), 50);
-        let make = || cfg.build();
+        let make = || cfg.build_kernel();
         let got = simulate_source_sharded(&mut t.cursor(), &make, routing, 3, 50)
             .expect("in-memory source");
         assert_eq!(got, expected);
@@ -620,7 +574,7 @@ mod tests {
         let t = Trace::new("empty");
         let cfg = PredictorConfig::btb();
         let routing = cfg.shardable().expect("shards");
-        let make = || cfg.build();
+        let make = || cfg.build_kernel();
         let got = simulate_source_sharded(&mut t.cursor(), &make, routing, 4, 0)
             .expect("in-memory source");
         assert_eq!(got, RunStats::default());
@@ -719,5 +673,20 @@ mod tests {
         durs.extend([2_000, 2_000]);
         let heavy = tail_ratio(&mut durs).expect("enough cells");
         assert!(heavy > 5.0, "p95/mean = {heavy}");
+    }
+
+    #[test]
+    fn tail_ratio_sees_a_single_straggler_in_twenty() {
+        // One 2000us straggler among 19 flat 100us cells — the queue-tail
+        // regime the auto scheduler targets. The truncating p95 index
+        // (`(n - 1) * 95 / 100` = cell 18) read this as a flat tail;
+        // nearest-rank lands on the straggler.
+        let mut durs: Vec<u64> = vec![100; 19];
+        durs.push(2_000);
+        let ratio = tail_ratio(&mut durs).expect("enough cells");
+        assert!(ratio > 5.0, "p95/mean = {ratio}, straggler missed");
+        // And the scheduler grant follows: the observed tail raises the
+        // depth heuristic's fan-out.
+        assert_eq!(auto_budget(5, 16, Some(ratio)), 8);
     }
 }

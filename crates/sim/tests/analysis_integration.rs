@@ -51,8 +51,8 @@ fn unbounded_has_zero_capacity_class() {
 #[test]
 fn per_site_misses_sum_to_total() {
     let trace = Benchmark::Gcc.trace_with_len(10_000);
-    let mut p = PredictorConfig::practical(3, 1024, 4).build();
-    let sites = simulate_per_site(&trace, p.as_mut());
+    let mut k = PredictorConfig::practical(3, 1024, 4).build_kernel();
+    let sites = simulate_per_site(&mut trace.cursor(), &mut k).expect("in-memory source");
     let total_exec: u64 = sites.iter().map(|s| s.executions).sum();
     let total_miss: u64 = sites.iter().map(|s| s.mispredicted).sum();
     assert_eq!(total_exec, 10_000);
@@ -84,8 +84,8 @@ fn census_shape_matches_paper_claims() {
 fn misses_concentrate_on_polymorphic_sites() {
     let trace = Benchmark::Jhm.trace_with_len(15_000);
     let trace_stats = trace.stats();
-    let mut p = PredictorConfig::btb_2bc().build();
-    let sites = simulate_per_site(&trace, p.as_mut());
+    let mut k = PredictorConfig::btb_2bc().build_kernel();
+    let sites = simulate_per_site(&mut trace.cursor(), &mut k).expect("in-memory source");
     // The top miss site must be polymorphic in the trace.
     let top = &sites[0];
     let site_info = trace_stats

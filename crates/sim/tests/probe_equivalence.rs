@@ -59,10 +59,17 @@ fn probes_under(policy: ProbePolicy, body: impl FnOnce()) -> Vec<Record> {
         .collect()
 }
 
-/// The comparable payload of one probe record: name plus every `f` field.
+/// The comparable payload of one probe record: name plus every `f` field
+/// except `sched_mode`, which deliberately records *which* pipeline ran.
 /// Timestamps and thread ids are intentionally outside `f`.
 fn payload(r: &Record) -> (String, Vec<(String, Json)>) {
-    (r.name.clone(), r.fields.clone())
+    let fields = r
+        .fields
+        .iter()
+        .filter(|(k, _)| k != "sched_mode")
+        .cloned()
+        .collect();
+    (r.name.clone(), fields)
 }
 
 #[test]
@@ -129,7 +136,7 @@ fn shard_merge_matches_sequential_probes() {
             simulate_warm(&trace, p.as_mut(), 300);
         });
         let sharded = probes_under(ProbePolicy::On, || {
-            let make = || cfg.build();
+            let make = || cfg.build_kernel();
             simulate_source_sharded(&mut trace.cursor(), &make, routing, 4, 300)
                 .expect("in-memory source");
         });

@@ -57,7 +57,7 @@ fn sharded_pipeline_matches_sequential_on_all_benchmarks() {
             let mut p = cfg.build();
             let expected = simulate_warm(&trace, p.as_mut(), 200);
             for shards in [1usize, 2, 4, 7] {
-                let make = || cfg.build();
+                let make = || cfg.build_kernel();
                 let got = simulate_source_sharded(&mut trace.cursor(), &make, routing, shards, 200)
                     .expect("in-memory source");
                 assert_eq!(
@@ -134,7 +134,7 @@ proptest! {
         let routing = cfg.shardable().expect("shardable");
         let mut p = cfg.build();
         let expected = simulate_warm(&trace, p.as_mut(), warmup);
-        let make = || cfg.build();
+        let make = || cfg.build_kernel();
         let got = simulate_source_sharded(&mut trace.cursor(), &make, routing, shards, warmup)
             .expect("in-memory source");
         prop_assert_eq!(got, expected);
