@@ -1,42 +1,81 @@
-//! Export a synthetic benchmark trace to the IBPT text format, for use
-//! with external tools or with `simulate_trace`.
+//! Export a synthetic benchmark trace to the IBPT text format (default)
+//! or the IBPB binary segment format, for use with external tools or
+//! with `simulate_trace`.
 //!
 //! The trace is generated and written chunk by chunk, so memory stays
 //! constant regardless of the event count:
 //!
 //! ```text
 //! export_trace ixx 2000000 > ixx.ibpt
+//! export_trace ixx 2000000 --binary ixx.ibpb
 //! ```
+//!
+//! `--binary` writes to a file rather than stdout because the binary
+//! writer seeks back to patch the header's record counts and checksum.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use ibp_trace::io::write_text_source;
+use ibp_trace::write_binary_source;
 use ibp_workload::Benchmark;
 
+fn usage() -> ExitCode {
+    let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+    eprintln!("usage: export_trace <benchmark> [events] [--binary <out.ibpb>]");
+    eprintln!("benchmarks: {}", names.join(" "));
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
+    let mut name = None;
+    let mut events: u64 = 100_000;
+    let mut binary_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let Some(name) = args.next() else {
-        let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
-        eprintln!("usage: export_trace <benchmark> [events]");
-        eprintln!("benchmarks: {}", names.join(" "));
-        return ExitCode::from(2);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--binary" => match args.next() {
+                Some(path) => binary_out = Some(path),
+                None => {
+                    eprintln!("error: missing value for --binary");
+                    return usage();
+                }
+            },
+            other if name.is_none() => name = Some(other.to_string()),
+            other => match other.parse() {
+                Ok(n) => events = n,
+                Err(_) => {
+                    eprintln!("error: bad event count {other:?}");
+                    return usage();
+                }
+            },
+        }
+    }
+    let Some(name) = name else {
+        return usage();
     };
     let Some(benchmark) = Benchmark::ALL.iter().copied().find(|b| b.name() == name) else {
         eprintln!("error: unknown benchmark {name:?}");
         return ExitCode::from(2);
     };
-    let events: u64 = match args.next() {
-        None => 100_000,
-        Some(v) => match v.parse() {
-            Ok(n) => n,
-            Err(_) => {
-                eprintln!("error: bad event count {v:?}");
-                return ExitCode::from(2);
-            }
-        },
-    };
     let mut source = benchmark.source(events);
+    if let Some(path) = binary_out {
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match write_binary_source(&mut source, file) {
+            Ok(bytes) => eprintln!("wrote {bytes} bytes to {path}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     if let Err(e) = write_text_source(&mut source, &mut lock) {

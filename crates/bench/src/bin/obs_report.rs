@@ -579,6 +579,37 @@ fn print_internals(records: &[Record], top: usize) {
     }
 }
 
+/// One-line summary of the persistent trace corpus cache, from the last
+/// metrics snapshot's `trace_cache.*` counters. Silent when the run never
+/// touched the cache.
+fn print_trace_cache(records: &[Record]) {
+    let Some(snap) = records.iter().rev().find(|r| r.kind == Kind::Metrics) else {
+        return;
+    };
+    let counter = |name: &str| -> u64 {
+        match snap.field("counters") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or(0),
+            _ => 0,
+        }
+    };
+    let hits = counter("trace_cache.hits");
+    let misses = counter("trace_cache.misses");
+    if hits + misses == 0 {
+        return;
+    }
+    println!(
+        "trace cache: {:.1}% hit rate ({hits} hits / {misses} misses, \
+         {} bytes read, {} bytes written)\n",
+        100.0 * hits as f64 / (hits + misses) as f64,
+        counter("trace_cache.bytes_read"),
+        counter("trace_cache.bytes_written"),
+    );
+}
+
 fn print_metrics(records: &[Record]) {
     let Some(snap) = records.iter().rev().find(|r| r.kind == Kind::Metrics) else {
         println!("metrics: no snapshot in journal (run did not call flush)\n");
@@ -739,6 +770,7 @@ fn run(opts: &Options) -> Result<(), String> {
     );
 
     print_experiments(&records);
+    print_trace_cache(&records);
     print_slowest_cells(&records, opts.top);
     print_worker_utilization(&records);
     if opts.sharding {

@@ -17,15 +17,20 @@
 //! The trace file is never materialised: every pass streams it through a
 //! chunked [`ibp_trace::TextSource`], so arbitrarily long traces simulate
 //! in constant memory (multi-pass modes like `--sweep` re-read the file).
+//!
+//! Both trace formats are accepted and auto-detected by magic bytes: the
+//! IBPT text format and the IBPB binary segment format that
+//! `export_trace --binary` and the trace corpus cache produce.
 
 use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
 use std::process::ExitCode;
 
 use ibp_core::{Associativity, PredictorConfig, TwoLevelPredictor};
 use ibp_sim::analysis::{simulate_classified_source, simulate_per_site};
 use ibp_sim::simulate_source;
 use ibp_trace::io::TextSource;
-use ibp_trace::{EventSource, TraceStats};
+use ibp_trace::{looks_binary, BinarySource, EventSource, TraceStats};
 
 struct Args {
     trace: String,
@@ -96,7 +101,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: simulate_trace <trace.ibpt> [options]\n\
+        "usage: simulate_trace <trace.ibpt|trace.ibpb> [options]\n\
          \n\
          options:\n\
            --predictor <btb|btb2bc|unconstrained|practical|tagless|fullassoc|hybrid>\n\
@@ -149,10 +154,21 @@ fn build(args: &Args) -> Result<PredictorConfig, String> {
 }
 
 /// Opens one streaming pass over the trace file (header and metadata
-/// prologue already consumed).
-fn open(path: &str) -> Result<TextSource<File>, String> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    TextSource::new(file).map_err(|e| e.to_string())
+/// prologue already consumed), sniffing the magic bytes to pick the
+/// text (IBPT) or binary (IBPB) decoder.
+fn open(path: &str) -> Result<Box<dyn EventSource>, String> {
+    let mut file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut magic = [0u8; 4];
+    let got = file
+        .read(&mut magic)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    file.seek(SeekFrom::Start(0))
+        .map_err(|e| format!("cannot rewind {path}: {e}"))?;
+    if looks_binary(&magic[..got]) {
+        Ok(Box::new(BinarySource::new(file).map_err(|e| e.to_string())?))
+    } else {
+        Ok(Box::new(TextSource::new(file).map_err(|e| e.to_string())?))
+    }
 }
 
 fn main() -> ExitCode {
@@ -169,7 +185,7 @@ fn main() -> ExitCode {
     // First pass: name and summary statistics, streamed.
     let (name, stats) = match open(&args.trace).and_then(|mut src| {
         let name = src.name().to_string();
-        TraceStats::from_source(&mut src)
+        TraceStats::from_source(&mut *src)
             .map(|stats| (name, stats))
             .map_err(|e| e.to_string())
     }) {
@@ -198,7 +214,7 @@ fn main() -> ExitCode {
             let mut predictor = cfg.build();
             let run = open(&args.trace)
                 .and_then(|mut src| {
-                    simulate_source(&mut src, predictor.as_mut(), 0).map_err(|e| e.to_string())
+                    simulate_source(&mut *src, predictor.as_mut(), 0).map_err(|e| e.to_string())
                 })
                 .expect("sweep pass");
             println!("{p:>3} {:>11.2}%", run.misprediction_rate() * 100.0);
@@ -216,7 +232,7 @@ fn main() -> ExitCode {
     let mut predictor = cfg.build();
     println!("predictor: {}", predictor.name());
     let run = match open(&args.trace)
-        .and_then(|mut src| simulate_source(&mut src, predictor.as_mut(), 0).map_err(|e| e.to_string()))
+        .and_then(|mut src| simulate_source(&mut *src, predictor.as_mut(), 0).map_err(|e| e.to_string()))
     {
         Ok(r) => r,
         Err(e) => {
@@ -236,7 +252,7 @@ fn main() -> ExitCode {
             Some(mut tl) => {
                 let b = open(&args.trace)
                     .and_then(|mut src| {
-                        simulate_classified_source(&mut src, &mut tl).map_err(|e| e.to_string())
+                        simulate_classified_source(&mut *src, &mut tl).map_err(|e| e.to_string())
                     })
                     .expect("classify pass");
                 println!(
@@ -254,7 +270,7 @@ fn main() -> ExitCode {
         let mut fresh = cfg.build_kernel();
         let sites = open(&args.trace)
             .and_then(|mut src| {
-                simulate_per_site(&mut src, &mut fresh).map_err(|e| e.to_string())
+                simulate_per_site(&mut *src, &mut fresh).map_err(|e| e.to_string())
             })
             .expect("per-site pass");
         println!("\nworst-predicted sites:");

@@ -28,6 +28,11 @@
 //!   byte-identical either way).
 //! * `IBP_CACHE` — `0` disables the persistent cross-process result cache
 //!   under `results/.cache/` (default enabled).
+//! * `IBP_TRACE_CACHE` — `0` disables the persistent binary trace corpus
+//!   cache under `results/.cache/traces/` (default enabled). When on,
+//!   each `(benchmark, events)` trace at 50k events or more is generated
+//!   once into an `.ibpb` segment and replayed at memory speed by every
+//!   later run; results are byte-identical either way.
 //! * `IBP_LOG` — stderr log level: `0` quiet (default), `1` per-sweep and
 //!   per-experiment progress, `2` debug detail. Unparseable values warn
 //!   and read as `0`.
@@ -54,6 +59,7 @@ use ibp_obs as obs;
 use ibp_sim::engine::{self, EngineStats};
 use ibp_sim::experiments::Experiment;
 use ibp_sim::report::Table;
+use ibp_sim::trace_cache::{self, TraceCacheStats};
 use ibp_sim::Suite;
 
 /// Builds the full 17-benchmark suite (honours `IBP_EVENTS`).
@@ -108,6 +114,24 @@ pub fn run_experiment(id: &str) {
     let (tables, _metrics) = run_instrumented(&experiment, &suite);
     emit(id, &tables);
     engine::persist_cache();
+    print_trace_cache_summary();
+}
+
+/// Prints the greppable process-wide trace-cache summary line on stderr
+/// (CI gates on it), or nothing if the cache saw no traffic.
+pub fn print_trace_cache_summary() {
+    let stats = trace_cache::stats();
+    if stats.hits + stats.misses == 0 {
+        return;
+    }
+    eprintln!(
+        "trace-cache hit rate: {:.1}% ({} hits / {} misses, {} bytes read, {} bytes written)",
+        stats.hit_rate_pct(),
+        stats.hits,
+        stats.misses,
+        stats.bytes_read,
+        stats.bytes_written,
+    );
 }
 
 /// Wall time and engine-counter deltas attributed to one experiment run.
@@ -120,6 +144,9 @@ pub struct ExperimentMetrics {
     /// Cache hit/miss and simulated-event deltas (see
     /// [`EngineStats::since`]).
     pub engine: EngineStats,
+    /// Trace-corpus-cache counter deltas for this experiment (see
+    /// [`TraceCacheStats::since`]).
+    pub trace_cache: TraceCacheStats,
     /// The process's peak RSS in bytes when the experiment finished
     /// (`None` off Linux). A whole-run high-water mark, not a per-
     /// experiment delta: compare it against a memory ceiling, not across
@@ -159,12 +186,14 @@ impl ExperimentMetrics {
 /// recorded as one root `experiment` span in the journal.
 pub fn run_instrumented(experiment: &Experiment, suite: &Suite) -> (Vec<Table>, ExperimentMetrics) {
     let before = engine::stats();
+    let trace_before = trace_cache::stats();
     let t0 = Instant::now();
     let tables = experiment.run_traced(suite);
     let metrics = ExperimentMetrics {
         id: experiment.id,
         wall: t0.elapsed(),
         engine: engine::stats().since(before),
+        trace_cache: trace_cache::stats().since(trace_before),
         peak_rss: obs::peak_rss_bytes(),
     };
     if let Some(bytes) = metrics.peak_rss {
@@ -218,7 +247,8 @@ pub fn write_manifest(metrics: &[ExperimentMetrics]) -> std::io::Result<PathBuf>
 pub fn manifest_csv(metrics: &[ExperimentMetrics]) -> String {
     let mut csv = String::from(
         "experiment,wall_seconds,cache_hits,cache_misses,persistent_hits,hit_rate_pct,\
-         simulated_events,events_per_sec,sharded_cells,component_cells,peak_rss_mb\n",
+         simulated_events,events_per_sec,sharded_cells,component_cells,\
+         trace_hits,trace_misses,peak_rss_mb\n",
     );
     for m in metrics {
         let rss = match m.peak_rss {
@@ -226,7 +256,7 @@ pub fn manifest_csv(metrics: &[ExperimentMetrics]) -> String {
             None => String::new(),
         };
         csv.push_str(&format!(
-            "{},{:.3},{},{},{},{:.1},{},{:.0},{},{},{rss}\n",
+            "{},{:.3},{},{},{},{:.1},{},{:.0},{},{},{},{},{rss}\n",
             m.id,
             m.wall.as_secs_f64(),
             m.engine.hits,
@@ -237,6 +267,8 @@ pub fn manifest_csv(metrics: &[ExperimentMetrics]) -> String {
             m.events_per_sec(),
             m.engine.sharded_cells,
             m.engine.component_cells,
+            m.trace_cache.hits,
+            m.trace_cache.misses,
         ));
     }
     csv
@@ -297,6 +329,7 @@ pub fn print_summary(metrics: &[ExperimentMetrics], total_wall: Duration) {
     if total.component_cells > 0 {
         eprintln!("component cells: {}", total.component_cells);
     }
+    print_trace_cache_summary();
 }
 
 #[cfg(test)]
@@ -315,6 +348,12 @@ mod tests {
                 sharded_cells: 1,
                 component_cells: 2,
             },
+            trace_cache: TraceCacheStats {
+                hits: 17,
+                misses: 4,
+                bytes_read: 1024,
+                bytes_written: 512,
+            },
             peak_rss,
         }
     }
@@ -324,9 +363,9 @@ mod tests {
         let csv = manifest_csv(&[sample("fig17", None)]);
         let mut lines = csv.lines();
         let header = lines.next().expect("header row");
-        assert!(header.ends_with("sharded_cells,component_cells,peak_rss_mb"));
+        assert!(header.ends_with("sharded_cells,component_cells,trace_hits,trace_misses,peak_rss_mb"));
         let row = lines.next().expect("one data row");
-        assert!(row.ends_with(",1,2,"), "rss field must be empty, got {row}");
+        assert!(row.ends_with(",1,2,17,4,"), "rss field must be empty, got {row}");
         assert!(!row.contains(",0.0"), "no fabricated rss reading: {row}");
         assert_eq!(
             row.split(',').count(),
@@ -339,7 +378,7 @@ mod tests {
     fn manifest_reports_real_peak_rss_readings() {
         let csv = manifest_csv(&[sample("fig9", Some(5 << 20))]);
         let row = csv.lines().nth(1).expect("one data row");
-        assert!(row.ends_with(",1,2,5.0"), "got {row}");
+        assert!(row.ends_with(",1,2,17,4,5.0"), "got {row}");
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //! * [`probe`] — the predictor-internals probe layer (`IBP_PROBE`):
 //!   occupancy/aliasing snapshots and per-site miss attribution sampled
 //!   into the run journal, byte-identical results on or off;
+//! * [`trace_cache`] — the persistent binary trace corpus cache
+//!   (`IBP_TRACE_CACHE`): each `(benchmark, events)` trace is generated
+//!   once into an IBPB segment under `results/.cache/traces/` and
+//!   replayed at memory speed by every later suite, materialised or
+//!   streamed, with byte-identical results;
 //! * [`report`] — plain-text and CSV rendering of result tables;
 //! * [`experiments`] — one runner per figure/table of the paper (the
 //!   `ibp-bench` binaries are thin wrappers over these).
@@ -56,6 +61,7 @@ pub mod report;
 mod run;
 pub mod shard;
 mod suite;
+pub mod trace_cache;
 
 pub use parallel::parallel_map;
 pub use run::{

@@ -106,6 +106,14 @@ impl Suite {
         let mut span =
             ibp_obs::span!("generate_traces", benchmarks = benchmarks.len(), events = events);
         span.note("mode", if streamed { "streamed" } else { "materialized" });
+        span.note(
+            "trace_cache",
+            if crate::trace_cache::engaged(events) {
+                "on"
+            } else {
+                "off"
+            },
+        );
         let entries = if streamed {
             benchmarks
                 .iter()
@@ -113,7 +121,9 @@ impl Suite {
                 .collect()
         } else {
             parallel_map(benchmarks, |&b| {
-                (b, TraceHandle::Materialized(b.trace_with_len(events)))
+                let trace = crate::trace_cache::trace_for(b, events)
+                    .unwrap_or_else(|| b.trace_with_len(events));
+                (b, TraceHandle::Materialized(trace))
             })
         };
         Suite { entries, events }
@@ -180,7 +190,10 @@ impl Suite {
     pub fn source(&self, benchmark: Benchmark) -> Box<dyn EventSource + '_> {
         match self.handle(benchmark) {
             TraceHandle::Materialized(trace) => Box::new(trace.cursor()),
-            TraceHandle::Streamed => Box::new(benchmark.source(self.events)),
+            TraceHandle::Streamed => match crate::trace_cache::source_for(benchmark, self.events) {
+                Some(replay) => Box::new(replay),
+                None => Box::new(benchmark.source(self.events)),
+            },
         }
     }
 
@@ -336,7 +349,11 @@ mod tests {
     #[test]
     fn long_suites_stream_without_materialising() {
         // Construction is free: no generation happens until a source is
-        // pulled, and then only chunk by chunk.
+        // pulled, and then only chunk by chunk. Pin the trace cache off so
+        // pulling a 250k source here does not write a segment file into
+        // the crate's working directory.
+        let _guard = crate::trace_cache::override_guard();
+        crate::trace_cache::override_policy(Some(false));
         let s = Suite::with_benchmarks_and_len(&[Benchmark::Ixx], STREAM_THRESHOLD + 1);
         assert!(s.streamed());
         assert_eq!(s.benchmarks(), vec![Benchmark::Ixx]);
@@ -346,6 +363,8 @@ mod tests {
         let more = src.fill(&mut chunk, 64).unwrap();
         assert!(more);
         assert_eq!(chunk.indirect_count(), 64);
+        drop(src);
+        crate::trace_cache::override_policy(None);
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub enum TraceIoError {
         /// What was wrong.
         message: String,
     },
+    /// A binary segment (see [`crate::binary`]) failed structural or
+    /// checksum validation — truncated, garbled, or wrong counts.
+    Corrupt {
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -75,6 +81,9 @@ impl fmt::Display for TraceIoError {
             TraceIoError::Parse { line, message } => {
                 write!(f, "trace parse error at line {line}: {message}")
             }
+            TraceIoError::Corrupt { message } => {
+                write!(f, "corrupt binary trace segment: {message}")
+            }
         }
     }
 }
@@ -83,7 +92,7 @@ impl std::error::Error for TraceIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceIoError::Io(e) => Some(e),
-            TraceIoError::Parse { .. } => None,
+            TraceIoError::Parse { .. } | TraceIoError::Corrupt { .. } => None,
         }
     }
 }

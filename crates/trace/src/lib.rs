@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod binary;
 mod event;
 pub mod io;
 mod source;
@@ -38,6 +39,7 @@ mod stats;
 mod trace;
 
 pub use addr::{Addr, UnalignedAddrError};
+pub use binary::{looks_binary, verify_binary, write_binary_source, BinarySource};
 pub use event::{BranchKind, CondBranch, IndirectBranch, TraceEvent};
 pub use source::{
     chunk_events, collect_source, EventSource, TraceChunk, TraceCursor, DEFAULT_CHUNK_EVENTS,

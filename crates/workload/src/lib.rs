@@ -45,5 +45,5 @@ mod zipf;
 pub use benchmarks::Benchmark;
 pub use group::BenchmarkGroup;
 pub use mix::KindMix;
-pub use program::{ProgramConfig, ProgramModel, ProgramSource};
+pub use program::{ProgramConfig, ProgramModel, ProgramSource, GENERATOR_VERSION};
 pub use zipf::Zipf;

@@ -60,6 +60,12 @@ impl KindMix {
         self.virtual_calls
     }
 
+    /// The function-pointer fraction (the remainder are `switch` jumps).
+    #[must_use]
+    pub fn fn_pointer_fraction(&self) -> f64 {
+        self.fn_pointers
+    }
+
     /// Maps a uniform draw in `[0, 1)` to a branch kind.
     #[must_use]
     pub fn pick(&self, u: f64) -> BranchKind {

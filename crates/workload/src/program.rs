@@ -142,7 +142,61 @@ pub struct ProgramConfig {
     pub seed: u64,
 }
 
+/// Version of the generative model. Bump whenever generation semantics
+/// change — any model or calibration edit that alters the event stream
+/// emitted for an unchanged [`ProgramConfig`] — so that persisted trace
+/// segments keyed by [`ProgramConfig::fingerprint`] are regenerated
+/// rather than silently replayed stale.
+pub const GENERATOR_VERSION: u32 = 1;
+
 impl ProgramConfig {
+    /// A stable 64-bit fingerprint of everything the generated event
+    /// stream depends on: [`GENERATOR_VERSION`] plus every configuration
+    /// field (floats hashed by bit pattern). Two configs with equal
+    /// fingerprints generate identical streams; any parameter or model
+    /// change moves the fingerprint, which is how the persistent trace
+    /// corpus cache in `ibp-sim` invalidates stale segments.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let f = f64::to_bits;
+        let name_hash = self.name.bytes().map(u64::from).fold(0, |a, b| mix64(a ^ b));
+        stable_hash(&[
+            u64::from(GENERATOR_VERSION),
+            name_hash,
+            self.seed,
+            self.events,
+            self.sites as u64,
+            self.activities as u64,
+            self.idioms as u64,
+            self.idiom_len.0 as u64,
+            self.idiom_len.1 as u64,
+            self.melody_len.0 as u64,
+            self.melody_len.1 as u64,
+            self.modes as u64,
+            self.mode_reps.0,
+            self.mode_reps.1,
+            self.idiom_families as u64,
+            f(self.deviation),
+            self.script_len.0 as u64,
+            self.script_len.1 as u64,
+            self.classes as u64,
+            f(self.mono_fraction),
+            f(self.class_skew),
+            f(self.noise),
+            u64::from(self.phase_events.is_some()),
+            self.phase_events.unwrap_or(0),
+            f(self.cond_per_indirect),
+            f(self.instr_per_indirect),
+            f(self.cond_trace_cap),
+            f(self.site_zipf),
+            f(self.kind_mix.virtual_fraction()),
+            f(self.kind_mix.fn_pointer_fraction()),
+            u64::from(self.method_pool.is_some()),
+            self.method_pool.unwrap_or(0) as u64,
+            u64::from(self.code_bytes),
+        ])
+    }
+
     /// A default configuration named `name`, seeded from the name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
@@ -893,6 +947,26 @@ mod tests {
     fn stable_hash_is_stable() {
         assert_eq!(stable_hash(&[1, 2, 3]), stable_hash(&[1, 2, 3]));
         assert_ne!(stable_hash(&[1, 2, 3]), stable_hash(&[1, 3, 2]));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_parameter_sensitive() {
+        let base = small();
+        assert_eq!(base.fingerprint(), small().fingerprint());
+        let mut tweaked = small();
+        tweaked.noise += 1e-9;
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
+        let mut pool = small();
+        pool.method_pool = Some(0);
+        assert_ne!(
+            base.fingerprint(),
+            pool.fingerprint(),
+            "None and Some(0) must hash apart"
+        );
+        assert_ne!(
+            ProgramConfig::new("a").fingerprint(),
+            ProgramConfig::new("b").fingerprint()
+        );
     }
 
     #[test]
