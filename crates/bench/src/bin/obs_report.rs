@@ -3,7 +3,7 @@
 //! (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
 //! ```text
-//! obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>] [--sharding] [--internals]
+//! obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>] [--sharding] [--internals] [--strict]
 //! ```
 //!
 //! The summary covers where a run's time went: per-experiment wall time and
@@ -16,6 +16,12 @@
 //! `IBP_PROBE` probe records: per-run occupancy/eviction/conflict tables,
 //! selector-usage breakdowns for hybrids, miss attribution and the
 //! aliasing-heaviest sites.
+//!
+//! The summary always includes a "degraded cells" section when the journal
+//! carries `degraded` events — cells whose parallel pipeline faulted and
+//! were re-run on the sequential fold, plus cache-layer warn-and-continue
+//! failures. `--strict` makes any degraded event a nonzero exit, for CI
+//! jobs that want faults surfaced, not absorbed.
 //!
 //! Corrupt journal lines are skipped with a warning (the footer counts
 //! them), so a truncated journal from a crashed run still renders.
@@ -33,6 +39,7 @@ struct Options {
     top: usize,
     sharding: bool,
     internals: bool,
+    strict: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -42,10 +49,12 @@ fn parse_args() -> Result<Options, String> {
     let mut top = 10usize;
     let mut sharding = false;
     let mut internals = false;
+    let mut strict = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sharding" => sharding = true,
             "--internals" => internals = true,
+            "--strict" => strict = true,
             "--chrome" => {
                 chrome = Some(PathBuf::from(
                     args.next().ok_or("--chrome needs a path".to_string())?,
@@ -70,6 +79,7 @@ fn parse_args() -> Result<Options, String> {
         top,
         sharding,
         internals,
+        strict,
     })
 }
 
@@ -218,6 +228,38 @@ fn print_worker_utilization(records: &[Record]) {
         fmt_us(busy_total),
         fmt_us(idle_total)
     );
+}
+
+/// The fault-containment section: every `degraded` event in the journal —
+/// a cell whose parallel pipeline faulted (worker panic or queue stall)
+/// and was transparently re-run on the sequential fold, or a cache layer
+/// that hit a warn-and-continue I/O failure. Returns the count so
+/// `--strict` can gate on it. Silent when the run saw no faults.
+fn print_degraded(records: &[Record]) -> usize {
+    let degraded: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.kind == Kind::Event && r.name == "degraded")
+        .collect();
+    if degraded.is_empty() {
+        return 0;
+    }
+    println!("degraded cells ({}):", degraded.len());
+    println!(
+        "  {:<20} {:<30} {:<10} {:>9} detail",
+        "site", "config", "benchmark", "retry"
+    );
+    for r in &degraded {
+        println!(
+            "  {:<20} {:<30} {:<10} {:>9} {}",
+            r.field_str("site").unwrap_or("?"),
+            r.field_str("config").unwrap_or("-"),
+            r.field_str("benchmark").unwrap_or("-"),
+            r.field_u64("retry_us").map_or("-".to_string(), fmt_us),
+            r.field_str("detail").unwrap_or(""),
+        );
+    }
+    println!();
+    degraded.len()
 }
 
 /// The `--sharding` section: how the chunk-parallel pipeline behaved
@@ -773,6 +815,10 @@ fn run(opts: &Options) -> Result<(), String> {
     print_trace_cache(&records);
     print_slowest_cells(&records, opts.top);
     print_worker_utilization(&records);
+    let degraded = print_degraded(&records);
+    if opts.strict && degraded == 0 {
+        println!("degraded cells: none\n");
+    }
     if opts.sharding {
         print_sharding(&records);
     }
@@ -791,6 +837,12 @@ fn run(opts: &Options) -> Result<(), String> {
             out.display()
         );
     }
+    if opts.strict && degraded > 0 {
+        return Err(format!(
+            "--strict: {degraded} degraded event(s) in journal — \
+             a fault was contained, not absent"
+        ));
+    }
     Ok(())
 }
 
@@ -803,7 +855,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: obs_report <journal.jsonl> [--chrome <out.json>] [--top <N>] \
-                 [--sharding] [--internals]"
+                 [--sharding] [--internals] [--strict]"
             );
             return ExitCode::from(2);
         }
@@ -861,6 +913,18 @@ mod tests {
         let args = counter.get("args").expect("args");
         assert_eq!(args.get("occupied").and_then(Json::as_u64), Some(8));
         assert_eq!(args.get("evictions").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn degraded_events_are_counted() {
+        let plain = Record::parse(r#"{"t":"event","name":"cell","ts":1,"tid":0}"#).unwrap();
+        assert_eq!(print_degraded(&[plain]), 0);
+        let degraded = Record::parse(
+            r#"{"t":"event","name":"degraded","ts":5,"tid":0,"f":{"site":"shard.worker","config":"btb-2bc","benchmark":"ixx","detail":"injected fault: shard.worker","retry_us":1200}}"#,
+        )
+        .unwrap();
+        let bare = Record::parse(r#"{"t":"event","name":"degraded","ts":6,"tid":0}"#).unwrap();
+        assert_eq!(print_degraded(&[degraded, bare]), 2);
     }
 
     #[test]

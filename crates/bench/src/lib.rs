@@ -284,6 +284,7 @@ pub fn print_summary(metrics: &[ExperimentMetrics], total_wall: Duration) {
             simulated_events: acc.simulated_events + m.engine.simulated_events,
             sharded_cells: acc.sharded_cells + m.engine.sharded_cells,
             component_cells: acc.component_cells + m.engine.component_cells,
+            degraded_cells: acc.degraded_cells + m.engine.degraded_cells,
         }
     });
     let lookups = total.hits + total.misses;
@@ -329,6 +330,9 @@ pub fn print_summary(metrics: &[ExperimentMetrics], total_wall: Duration) {
     if total.component_cells > 0 {
         eprintln!("component cells: {}", total.component_cells);
     }
+    if total.degraded_cells > 0 {
+        eprintln!("degraded cells: {}", total.degraded_cells);
+    }
     print_trace_cache_summary();
 }
 
@@ -347,6 +351,7 @@ mod tests {
                 simulated_events: 40,
                 sharded_cells: 1,
                 component_cells: 2,
+                degraded_cells: 0,
             },
             trace_cache: TraceCacheStats {
                 hits: 17,

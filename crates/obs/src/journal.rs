@@ -19,7 +19,7 @@ use std::fs;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, Once, OnceLock};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock, PoisonError};
 use std::time::{Instant, SystemTime};
 
 use crate::json::{self, Json};
@@ -57,6 +57,32 @@ static INIT: Once = Once::new();
 fn sink() -> &'static Mutex<Option<Sink>> {
     static SINK: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
     SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Locks the sink, recovering from poison: a worker that panicked while
+/// holding the lock was mid-`write_all` at worst, which can only leave a
+/// torn trailing line — and the journal reader already skips malformed
+/// lines. Losing the whole journal to a contained panic would be the
+/// greater harm.
+fn lock_sink() -> MutexGuard<'static, Option<Sink>> {
+    sink().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+type FaultHook = Box<dyn Fn() -> Option<std::io::Error> + Send + Sync>;
+
+fn fault_hook() -> &'static Mutex<Option<FaultHook>> {
+    static HOOK: OnceLock<Mutex<Option<FaultHook>>> = OnceLock::new();
+    HOOK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or clears) a write-fault hook: before each record write the
+/// hook may return an `io::Error` that is treated exactly like a real
+/// sink failure (warn, disable). Fault-injection plumbing for
+/// `ibp_sim::faults` — the journal must prove it degrades cleanly, and
+/// this crate sits below the injector in the dependency order.
+#[doc(hidden)]
+pub fn set_fault_hook(hook: Option<FaultHook>) {
+    *fault_hook().lock().unwrap_or_else(PoisonError::into_inner) = hook;
 }
 
 fn run_id() -> String {
@@ -124,7 +150,7 @@ fn open_sink(path: &Path) -> std::io::Result<()> {
         }
     }
     let file = fs::File::create(path)?;
-    let mut guard = sink().lock().expect("journal sink poisoned");
+    let mut guard = lock_sink();
     *guard = Some(Sink {
         writer: Box::new(file),
         path: Some(path.to_path_buf()),
@@ -154,7 +180,7 @@ fn open_sink(path: &Path) -> std::io::Result<()> {
 #[doc(hidden)]
 pub fn install_writer(writer: Box<dyn Write + Send>) {
     INIT.call_once(|| {});
-    let mut guard = sink().lock().expect("journal sink poisoned");
+    let mut guard = lock_sink();
     *guard = Some(Sink { writer, path: None });
     ENABLED.store(true, Ordering::Relaxed);
 }
@@ -163,7 +189,7 @@ pub fn install_writer(writer: Box<dyn Write + Send>) {
 #[doc(hidden)]
 pub fn uninstall() {
     ENABLED.store(false, Ordering::Relaxed);
-    let mut guard = sink().lock().expect("journal sink poisoned");
+    let mut guard = lock_sink();
     *guard = None;
 }
 
@@ -173,11 +199,7 @@ pub fn path() -> Option<PathBuf> {
     if !enabled() {
         return None;
     }
-    sink()
-        .lock()
-        .expect("journal sink poisoned")
-        .as_ref()
-        .and_then(|s| s.path.clone())
+    lock_sink().as_ref().and_then(|s| s.path.clone())
 }
 
 /// Serialises and writes one record line. No-op when disabled; write
@@ -192,9 +214,20 @@ pub(crate) fn write_record(record: &Json) {
     let mut line = String::new();
     record.write(&mut line);
     line.push('\n');
-    let mut guard = sink().lock().expect("journal sink poisoned");
+    // Consult the fault hook before taking the sink lock (the hook may
+    // take its own locks); an injected error is handled exactly like a
+    // real write failure below.
+    let injected = fault_hook()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .as_ref()
+        .and_then(|hook| hook());
+    let mut guard = lock_sink();
     if let Some(s) = guard.as_mut() {
-        let outcome = s.writer.write_all(line.as_bytes()).and_then(|()| s.writer.flush());
+        let outcome = match injected {
+            Some(e) => Err(e),
+            None => s.writer.write_all(line.as_bytes()).and_then(|()| s.writer.flush()),
+        };
         if let Err(e) = outcome {
             eprintln!("warning: trace journal write failed, disabling: {e}");
             ENABLED.store(false, Ordering::Relaxed);

@@ -160,16 +160,33 @@ fn save_to(root: &Path, entries: &[(CacheKey, RunStats)]) -> io::Result<usize> {
         .collect();
     rows.sort_unstable();
     let tmp = dir.join("engine.tsv.tmp");
-    {
-        let mut file = fs::File::create(&tmp)?;
-        writeln!(file, "{FILE_HEADER}")?;
-        for row in &rows {
-            writeln!(file, "{row}")?;
-        }
-        file.sync_all()?;
+    let published = write_and_publish(&tmp, &dir, &rows);
+    if published.is_err() {
+        // A failed write or rename must not leave the half-written temp
+        // file behind — the previously published engine.tsv (if any)
+        // stays the newest complete snapshot.
+        let _ = fs::remove_file(&tmp);
     }
-    fs::rename(&tmp, dir.join("engine.tsv"))?;
-    Ok(rows.len())
+    published.map(|()| rows.len())
+}
+
+/// Writes `rows` to `tmp` and atomically publishes it as `engine.tsv`.
+/// Split out so `save_to` can clean up the temp file on any failure.
+fn write_and_publish(tmp: &Path, dir: &Path, rows: &[String]) -> io::Result<()> {
+    let mut file = fs::File::create(tmp)?;
+    if let Some(e) = crate::faults::io_error("cache.write") {
+        return Err(e);
+    }
+    writeln!(file, "{FILE_HEADER}")?;
+    for row in rows {
+        writeln!(file, "{row}")?;
+    }
+    file.sync_all()?;
+    drop(file);
+    if let Some(e) = crate::faults::io_error("cache.rename") {
+        return Err(e);
+    }
+    fs::rename(tmp, dir.join("engine.tsv"))
 }
 
 /// Persists `entries` into the environment-selected results directory;
@@ -251,6 +268,42 @@ mod tests {
         let _ = load_from(&root);
         assert!(!stale.exists(), "v0 evicted");
         assert!(version_dir(&root).join("engine.tsv").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failed_write_cleans_up_the_temp_file_and_keeps_the_old_snapshot() {
+        let _guard = crate::faults::test_guard();
+        let root = scratch_root("write-fault");
+        let entries = sample_entries();
+        save_to(&root, &entries[..1]).expect("clean first save");
+        crate::faults::override_spec(Some("cache.write@1")).unwrap();
+        let err = save_to(&root, &entries[1..]).expect_err("injected write fault");
+        crate::faults::override_spec(None).unwrap();
+        assert!(err.to_string().contains("injected fault: cache.write"), "{err}");
+        let dir = version_dir(&root);
+        assert!(!dir.join("engine.tsv.tmp").exists(), "temp file cleaned up");
+        let loaded = load_from(&root);
+        assert_eq!(loaded.len(), 1, "previous snapshot survives a failed save");
+        assert_eq!(loaded.get(&entries[0].0), Some(&entries[0].1));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failed_rename_cleans_up_the_temp_file_and_keeps_the_old_snapshot() {
+        let _guard = crate::faults::test_guard();
+        let root = scratch_root("rename-fault");
+        let entries = sample_entries();
+        save_to(&root, &entries[..1]).expect("clean first save");
+        crate::faults::override_spec(Some("cache.rename@1")).unwrap();
+        let err = save_to(&root, &entries).expect_err("injected rename fault");
+        crate::faults::override_spec(None).unwrap();
+        assert!(err.to_string().contains("injected fault: cache.rename"), "{err}");
+        let dir = version_dir(&root);
+        assert!(!dir.join("engine.tsv.tmp").exists(), "temp file cleaned up");
+        assert_eq!(load_from(&root).len(), 1, "old snapshot intact");
+        // A clean retry after the fault publishes normally.
+        assert_eq!(save_to(&root, &entries).expect("retry"), 2);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -51,6 +51,7 @@
 //! [`TwoLevelPredictor`]: ibp_core::TwoLevelPredictor
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use ibp_core::snapshot::Snapshot;
@@ -60,12 +61,14 @@ use ibp_core::{
 };
 use ibp_obs as obs;
 use ibp_obs::metrics::{Counter, Histogram, WorkClock};
-use ibp_trace::io::TraceIoError;
 use ibp_trace::{chunk_events, Addr, EventSource, TraceChunk, TraceEvent};
 
+use crate::faults;
 use crate::probe::{self, Attribution, ProbePayload, ProbePolicy};
 use crate::run::{simulate_kernel, RunStats};
-use crate::shard::{threads_available, SpscQueue, QUEUE_CAPACITY};
+use crate::shard::{
+    threads_available, PipelineError, QueueStalled, SpscQueue, WorkerFault, QUEUE_CAPACITY,
+};
 
 /// Whether hybrid cells may run the component-parallel fold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -297,7 +300,7 @@ fn component_worker(
     output: &SpscQueue<Vec<PredRecord>>,
     policy: ProbePolicy,
     warmup: u64,
-) -> Option<(Option<Snapshot>, Snapshot)> {
+) -> Result<Option<(Option<Snapshot>, Snapshot)>, WorkerFault> {
     let mut span = obs::span!("component", component = index);
     let mut clock = WorkClock::start();
     let mut predictor = cfg
@@ -307,7 +310,24 @@ fn component_worker(
     let probing = policy.on();
     let mut probe_seen = 0u64;
     let mut warm: Option<Snapshot> = None;
-    while let Some(chunk) = input.pop() {
+    loop {
+        let chunk = match input.pop() {
+            Ok(Some(chunk)) => chunk,
+            Ok(None) => break,
+            Err(QueueStalled) => {
+                return Err(WorkerFault::stalled("component.queue", "the router"));
+            }
+        };
+        if faults::should_fire("component.stall") {
+            // An injected stall: stop consuming *without* closing either
+            // queue, so the router/merger trips the watchdog — the
+            // hang-containment path, not the panic path.
+            return Err(WorkerFault {
+                site: "component.stall",
+                detail: "injected worker stall".to_string(),
+            });
+        }
+        faults::fire_panic("component.worker");
         let records = clock.busy(|| {
             let mut records = Vec::with_capacity(chunk.indirect_count() as usize);
             for event in chunk.events() {
@@ -331,7 +351,12 @@ fn component_worker(
             records
         });
         events += records.len() as u64;
-        output.push(records);
+        if output.push(records).is_err() {
+            return Err(WorkerFault::stalled(
+                "component.queue",
+                "the merge to drain this component's records",
+            ));
+        }
     }
     let probe = probing.then(|| {
         let end = predictor
@@ -348,7 +373,7 @@ fn component_worker(
     span.note("busy_us", clock.busy_us());
     span.note("idle_us", clock.idle_us());
     span.note("occupancy_pct", clock.util_pct());
-    probe
+    Ok(probe)
 }
 
 /// Folds one event source through a decomposed hybrid's components in
@@ -364,14 +389,17 @@ fn component_worker(
 ///
 /// # Errors
 ///
-/// Propagates the source's I/O or parse failures (workers are unblocked
-/// and joined first; partial records are discarded).
+/// [`PipelineError::Io`] propagates the source's I/O or parse failures
+/// (workers are unblocked and joined first; partial records are
+/// discarded). [`PipelineError::Fault`] reports a contained worker
+/// failure — a caught panic or a watchdogged queue stall; the caller can
+/// re-run the same fold sequentially for a byte-identical result.
 pub fn simulate_source_components<S: EventSource + ?Sized>(
     source: &mut S,
     decomposition: &Decomposition,
     workers: usize,
     warmup: u64,
-) -> Result<RunStats, TraceIoError> {
+) -> Result<RunStats, PipelineError> {
     simulate_source_components_with_chunk(source, decomposition, workers, warmup, chunk_events())
 }
 
@@ -394,11 +422,11 @@ pub fn simulate_source_components_with_chunk<S: EventSource + ?Sized>(
     workers: usize,
     warmup: u64,
     chunk: u64,
-) -> Result<RunStats, TraceIoError> {
+) -> Result<RunStats, PipelineError> {
     assert!(chunk > 0, "chunk granularity must be positive");
     if workers <= 1 {
         let mut kernel = build_sequential(decomposition);
-        return simulate_kernel(source, &mut kernel, warmup);
+        return simulate_kernel(source, &mut kernel, warmup).map_err(PipelineError::Io);
     }
     let meta_name = match decomposition.meta {
         MetaSpec::Confidence => "confidence",
@@ -422,12 +450,27 @@ pub fn simulate_source_components_with_chunk<S: EventSource + ?Sized>(
     let mut merge_probe = policy.on().then(MergeProbe::default);
     type WorkerProbe = Option<(Option<Snapshot>, Snapshot)>;
     let (routed, worker_probes) = std::thread::scope(
-        |scope| -> Result<(u64, Vec<WorkerProbe>), TraceIoError> {
+        |scope| -> Result<(u64, Vec<WorkerProbe>), PipelineError> {
             let mut handles = Vec::with_capacity(2);
             for (i, cfg) in configs.into_iter().enumerate() {
                 let (input, output) = (&inputs[i], &outputs[i]);
-                handles
-                    .push(scope.spawn(move || component_worker(i, cfg, input, output, policy, warmup)));
+                handles.push(scope.spawn(move || {
+                    // The containment boundary: a panic anywhere in the
+                    // component fold becomes a fault report, and the dying
+                    // worker closes both of its queues so the router's
+                    // broadcast drops and the merge sees a closed stream
+                    // instead of waiting out the watchdog.
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        component_worker(i, cfg, input, output, policy, warmup)
+                    })) {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            input.close();
+                            output.close();
+                            Err(WorkerFault::from_panic("component.worker", payload))
+                        }
+                    }
+                }));
             }
             // Router + merger: broadcast each freshly filled chunk (fill
             // clears its argument, and the previous chunk is still shared
@@ -440,62 +483,110 @@ pub fn simulate_source_components_with_chunk<S: EventSource + ?Sized>(
             let mut ring: VecDeque<Arc<TraceChunk>> = VecDeque::with_capacity(QUEUE_CAPACITY);
             let mut inflight_records = 0u64;
             let mut routed = 0u64;
-            let mut merge_oldest = |ring: &mut VecDeque<Arc<TraceChunk>>, inflight: &mut u64| {
-                let chunk = ring.pop_front().expect("merge on empty ring");
-                let first = outputs[0].pop().expect("first component starved the merge");
-                let second = outputs[1].pop().expect("second component starved the merge");
-                let mut fold = MergeFold {
-                    meta: &mut meta,
-                    stats: &mut stats,
-                    seen: &mut seen,
-                    warmup,
-                    probe: &mut merge_probe,
+            let mut merge_oldest =
+                |ring: &mut VecDeque<Arc<TraceChunk>>, inflight: &mut u64| -> Result<(), WorkerFault> {
+                    let chunk = ring.pop_front().expect("merge on empty ring");
+                    let take = |which: usize, label: &str| match outputs[which].pop() {
+                        Ok(Some(records)) => Ok(records),
+                        // A closed output with no records means the worker
+                        // died mid-chunk; the join below carries its real
+                        // fault, this one just aborts the merge.
+                        Ok(None) => Err(WorkerFault {
+                            site: "component.queue",
+                            detail: format!("the {label} component quit before returning records"),
+                        }),
+                        Err(QueueStalled) => Err(WorkerFault::stalled(
+                            "component.queue",
+                            &format!("the {label} component's records"),
+                        )),
+                    };
+                    let first = take(0, "first")?;
+                    let second = take(1, "second")?;
+                    let mut fold = MergeFold {
+                        meta: &mut meta,
+                        stats: &mut stats,
+                        seen: &mut seen,
+                        warmup,
+                        probe: &mut merge_probe,
+                    };
+                    merge_chunk(&chunk, &first, &second, &mut fold);
+                    *inflight -= 2 * chunk.indirect_count();
+                    Ok(())
                 };
-                merge_chunk(&chunk, &first, &second, &mut fold);
-                *inflight -= 2 * chunk.indirect_count();
-            };
-            loop {
-                let mut fresh = TraceChunk::default();
-                let more = match source.fill(&mut fresh, chunk) {
-                    Ok(more) => more,
-                    Err(e) => {
-                        // Unblock both sides: workers drain their remaining
-                        // chunks and their output pushes drop once closed.
-                        for q in &inputs {
-                            q.close();
+            let mut failure: Option<PipelineError> = None;
+            'route: {
+                loop {
+                    let mut fresh = TraceChunk::default();
+                    let more = match source.fill(&mut fresh, chunk) {
+                        Ok(more) => more,
+                        Err(e) => {
+                            failure = Some(PipelineError::Io(e));
+                            break 'route;
                         }
-                        for q in &outputs {
-                            q.close();
+                    };
+                    let shared = Arc::new(fresh);
+                    routed += shared.indirect_count();
+                    inflight_records += 2 * shared.indirect_count();
+                    record_hwm = record_hwm.max(inflight_records);
+                    for q in &inputs {
+                        if q.push(Arc::clone(&shared)).is_err() {
+                            failure = Some(PipelineError::Fault(WorkerFault::stalled(
+                                "component.queue",
+                                "a component to drain its input",
+                            )));
+                            break 'route;
                         }
-                        return Err(e);
                     }
-                };
-                let shared = Arc::new(fresh);
-                routed += shared.indirect_count();
-                inflight_records += 2 * shared.indirect_count();
-                record_hwm = record_hwm.max(inflight_records);
+                    ring.push_back(shared);
+                    if ring.len() >= QUEUE_CAPACITY {
+                        if let Err(f) = merge_oldest(&mut ring, &mut inflight_records) {
+                            failure = Some(PipelineError::Fault(f));
+                            break 'route;
+                        }
+                    }
+                    if !more {
+                        break;
+                    }
+                }
                 for q in &inputs {
-                    q.push(Arc::clone(&shared));
+                    q.close();
                 }
-                ring.push_back(shared);
-                if ring.len() >= QUEUE_CAPACITY {
-                    merge_oldest(&mut ring, &mut inflight_records);
-                }
-                if !more {
-                    break;
+                while !ring.is_empty() {
+                    if let Err(f) = merge_oldest(&mut ring, &mut inflight_records) {
+                        failure = Some(PipelineError::Fault(f));
+                        break 'route;
+                    }
                 }
             }
+            // Shutdown: unblock both sides (idempotent on the clean path,
+            // where inputs are already closed and outputs drained) so the
+            // joins below are brief even after an abort.
             for q in &inputs {
                 q.close();
             }
-            while !ring.is_empty() {
-                merge_oldest(&mut ring, &mut inflight_records);
+            for q in &outputs {
+                q.close();
             }
-            // Workers exit once their input closes and every record buffer
-            // has been popped by the merge above, so the joins are brief.
-            let probes = handles
+            let joined: Vec<Result<WorkerProbe, WorkerFault>> = handles
                 .into_iter()
-                .map(|h| h.join().expect("component worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    // A panic that escaped the worker's own catch still
+                    // joins as a fault — never a poison cascade.
+                    Err(payload) => Err(WorkerFault::from_panic("component.worker", payload)),
+                })
+                .collect();
+            // Prefer a worker's own fault over the router/merge-side
+            // symptom it causes: the worker knows the true site.
+            if let Some(fault) = joined.iter().find_map(|r| r.as_ref().err()) {
+                return Err(PipelineError::Fault(fault.clone()));
+            }
+            if let Some(failure) = failure {
+                return Err(failure);
+            }
+            let probes = joined
+                .into_iter()
+                .map(|r| r.expect("worker faults handled above"))
                 .collect();
             Ok((routed, probes))
         },
@@ -623,6 +714,47 @@ mod tests {
         };
         assert_eq!(PredRecord::pack(Some(hit)).unpack(), Some(hit));
         assert_eq!(PredRecord::pack(None).unpack(), None);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_as_a_fault() {
+        let _guard = faults::test_guard();
+        faults::override_spec(Some("component.worker@1")).unwrap();
+        let t = phased_trace(2_000);
+        let cfg = PredictorConfig::hybrid(6, 2, 256, 4);
+        let d = cfg.decompose().expect("hybrids decompose");
+        let err = simulate_source_components_with_chunk(&mut t.cursor(), &d, 2, 0, 256)
+            .expect_err("armed panic must surface as a pipeline error");
+        match err {
+            PipelineError::Fault(f) => {
+                assert_eq!(f.site, "component.worker");
+                assert!(f.detail.contains("injected fault"), "detail: {}", f.detail);
+            }
+            PipelineError::Io(e) => panic!("unexpected io error: {e}"),
+        }
+        faults::override_spec(None).unwrap();
+        // The pipeline is intact for the sequential retry path.
+        let clean = simulate_source_components_with_chunk(&mut t.cursor(), &d, 2, 0, 256)
+            .expect("unfaulted rerun");
+        let mut p = cfg.build();
+        assert_eq!(clean, simulate_warm(&t, p.as_mut(), 0));
+    }
+
+    #[test]
+    fn injected_worker_stall_is_contained_as_a_fault() {
+        let _guard = faults::test_guard();
+        faults::override_spec(Some("component.stall@2;watchdog=100")).unwrap();
+        let t = phased_trace(2_000);
+        let d = PredictorConfig::hybrid(6, 2, 256, 4)
+            .decompose()
+            .expect("hybrids decompose");
+        let err = simulate_source_components_with_chunk(&mut t.cursor(), &d, 2, 0, 256)
+            .expect_err("armed stall must surface as a pipeline error");
+        match err {
+            PipelineError::Fault(f) => assert_eq!(f.site, "component.stall"),
+            PipelineError::Io(e) => panic!("unexpected io error: {e}"),
+        }
+        faults::override_spec(None).unwrap();
     }
 
     #[test]

@@ -36,7 +36,13 @@
 //!   [`ibp_obs::metrics`] registry (`engine.cache.hits`,
 //!   `engine.cache.misses`, `engine.cache.persistent_hits`,
 //!   `engine.simulated_events`, `engine.sharded_cells`,
-//!   `engine.component_cells`), so a journal snapshot carries them too;
+//!   `engine.component_cells`, `engine.degraded_cells`), so a journal
+//!   snapshot carries them too;
+//! * a contained fault in a parallel pipeline (worker panic, stalled
+//!   queue — see [`crate::faults`]) never loses the cell: the engine logs
+//!   a `degraded` journal event with the fault site and panic payload,
+//!   then re-runs that one cell on the sequential kernel fold, which is
+//!   byte-identical — a fault costs wall time, never correctness;
 //! * with tracing on (`IBP_TRACE`), every simulated cell emits a `cell`
 //!   span (config, benchmark, queue wait vs. run time) and every memoized
 //!   lookup a `cell` event with `outcome = "hit"`.
@@ -123,6 +129,41 @@ fn component_cells() -> &'static Arc<Counter> {
     C.get_or_init(|| obs::metrics::counter("engine.component_cells"))
 }
 
+fn degraded_cells() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::metrics::counter("engine.degraded_cells"))
+}
+
+/// Contains one cell's pipeline fault: warn, count, re-run the cell on
+/// the sequential kernel fold (byte-identical to the parallel result by
+/// the pipelines' equivalence guarantee), and journal a `degraded` event
+/// carrying the fault site, panic payload and what the retry cost.
+fn recover_cell(
+    config: &str,
+    benchmark: &str,
+    fault: &shard::WorkerFault,
+    retry: impl FnOnce() -> RunStats,
+) -> RunStats {
+    obs::warn!(
+        "[engine] cell {config} x {benchmark}: contained fault at {} ({}); \
+         re-running on the sequential fold",
+        fault.site,
+        fault.detail
+    );
+    degraded_cells().incr();
+    let start = Instant::now();
+    let stats = retry();
+    obs::event!(
+        "degraded",
+        config = config,
+        benchmark = benchmark,
+        site = fault.site,
+        detail = fault.detail.as_str(),
+        retry_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    );
+    stats
+}
+
 /// Counts a memo-cache hit, attributing it to the persistent cache when
 /// the key was seeded from disk.
 fn count_hit(key: &CacheKey) {
@@ -156,6 +197,10 @@ pub struct EngineStats {
     /// Simulated cells that ran through the component-parallel hybrid
     /// pipeline ([`crate::component`]) instead of a sequential fold.
     pub component_cells: u64,
+    /// Cells whose parallel pipeline faulted (worker panic or queue
+    /// stall) and were transparently re-run on the sequential fold —
+    /// results identical, wall time paid.
+    pub degraded_cells: u64,
 }
 
 impl EngineStats {
@@ -169,6 +214,7 @@ impl EngineStats {
             simulated_events: self.simulated_events - earlier.simulated_events,
             sharded_cells: self.sharded_cells - earlier.sharded_cells,
             component_cells: self.component_cells - earlier.component_cells,
+            degraded_cells: self.degraded_cells - earlier.degraded_cells,
         }
     }
 }
@@ -184,6 +230,7 @@ pub fn stats() -> EngineStats {
         simulated_events: simulated_events().get(),
         sharded_cells: sharded_cells().get(),
         component_cells: component_cells().get(),
+        degraded_cells: degraded_cells().get(),
     }
 }
 
@@ -193,14 +240,20 @@ pub fn stats() -> EngineStats {
 pub fn persist_cache() {
     let entries: Vec<(CacheKey, RunStats)> = cache()
         .lock()
-        .expect("engine cache poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, &v)| (k.clone(), v))
         .collect();
     match crate::cache::save(&entries) {
         Ok(0) => {}
         Ok(n) => obs::info!("[engine] persistent cache: {n} entries saved"),
-        Err(e) => eprintln!("warning: could not persist the result cache: {e}"),
+        Err(e) => {
+            // Losing the cache costs re-simulation time on the next run,
+            // never correctness — warn, journal, and continue.
+            eprintln!("warning: could not persist the result cache: {e}");
+            let detail = e.to_string();
+            obs::event!("degraded", site = "cache.save", detail = detail.as_str());
+        }
     }
 }
 
@@ -209,7 +262,10 @@ pub fn persist_cache() {
 /// process already saw — e.g. timing sharded against sequential folds —
 /// never needed for correctness.
 pub fn clear_memo_cache() {
-    cache().lock().expect("engine cache poisoned").clear();
+    cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
     persistent_keys()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -322,7 +378,9 @@ impl<'a> Sweep<'a> {
         let mut results: Vec<Vec<Option<RunStats>>> = vec![vec![None; nb]; self.jobs.len()];
         let mut units: Vec<(usize, usize)> = Vec::new();
         {
-            let cache = cache().lock().expect("engine cache poisoned");
+            let cache = cache()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let mut claimed: HashMap<(&str, Benchmark), ()> = HashMap::new();
             for (j, job) in self.jobs.iter().enumerate() {
                 for (bi, &b) in benchmarks.iter().enumerate() {
@@ -371,26 +429,48 @@ impl<'a> Sweep<'a> {
                 let stats = if let Some(routing) = self.jobs[j].routing.filter(|_| budget > 1) {
                     cell.note("shards", budget);
                     sharded_cells().incr();
-                    shard::simulate_source_sharded(
+                    match shard::simulate_source_sharded(
                         &mut trace.cursor(),
                         self.jobs[j].make.as_ref(),
                         routing,
                         budget,
                         self.warmup,
-                    )
-                    .expect("in-memory source cannot fail")
+                    ) {
+                        Ok(stats) => stats,
+                        Err(shard::PipelineError::Io(e)) => {
+                            panic!("in-memory source cannot fail: {e}")
+                        }
+                        Err(shard::PipelineError::Fault(fault)) => {
+                            recover_cell(self.jobs[j].key.as_str(), b.name(), &fault, || {
+                                let mut kernel = (self.jobs[j].make)();
+                                simulate_kernel(&mut trace.cursor(), &mut kernel, self.warmup)
+                                    .expect("in-memory source cannot fail")
+                            })
+                        }
+                    }
                 } else if let Some(d) =
                     self.jobs[j].decomposition.as_ref().filter(|_| cbudget > 1)
                 {
                     cell.note("components", 2_u64);
                     component_cells().incr();
-                    component::simulate_source_components(
+                    match component::simulate_source_components(
                         &mut trace.cursor(),
                         d,
                         cbudget,
                         self.warmup,
-                    )
-                    .expect("in-memory source cannot fail")
+                    ) {
+                        Ok(stats) => stats,
+                        Err(shard::PipelineError::Io(e)) => {
+                            panic!("in-memory source cannot fail: {e}")
+                        }
+                        Err(shard::PipelineError::Fault(fault)) => {
+                            recover_cell(self.jobs[j].key.as_str(), b.name(), &fault, || {
+                                let mut kernel = (self.jobs[j].make)();
+                                simulate_kernel(&mut trace.cursor(), &mut kernel, self.warmup)
+                                    .expect("in-memory source cannot fail")
+                            })
+                        }
+                    }
                 } else {
                     let mut kernel = (self.jobs[j].make)();
                     simulate_kernel(&mut trace.cursor(), &mut kernel, self.warmup)
@@ -406,7 +486,9 @@ impl<'a> Sweep<'a> {
         // Phase 3: publish the new results, then fill every remaining slot
         // (duplicate keys within this sweep) from the cache.
         {
-            let mut cache = cache().lock().expect("engine cache poisoned");
+            let mut cache = cache()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             for (&(j, bi), &stats) in units.iter().zip(&simulated) {
                 results[j][bi] = Some(stats);
                 cache.insert(
@@ -532,27 +614,61 @@ impl<'a> Sweep<'a> {
                     if let Some(routing) = job.routing {
                         cell.note("shards", budget);
                         sharded_cells().incr();
-                        return vec![shard::simulate_source_sharded(
+                        let stats = match shard::simulate_source_sharded(
                             &mut *source,
                             job.make.as_ref(),
                             routing,
                             budget,
                             self.warmup,
-                        )
-                        .expect("suite sources cannot fail")];
+                        ) {
+                            Ok(stats) => stats,
+                            Err(shard::PipelineError::Io(e)) => {
+                                panic!("suite sources cannot fail: {e}")
+                            }
+                            Err(shard::PipelineError::Fault(fault)) => {
+                                // The faulted pass may have consumed part of
+                                // the stream; the retry opens a fresh source.
+                                recover_cell(job.key.as_str(), b.name(), &fault, || {
+                                    let mut kernel = (job.make)();
+                                    simulate_kernel(
+                                        &mut *self.suite.source(b),
+                                        &mut kernel,
+                                        self.warmup,
+                                    )
+                                    .expect("suite sources cannot fail")
+                                })
+                            }
+                        };
+                        return vec![stats];
                     }
                 }
                 if cbudget > 1 {
                     if let Some(d) = job.decomposition.as_ref() {
                         cell.note("components", 2_u64);
                         component_cells().incr();
-                        return vec![component::simulate_source_components(
+                        let stats = match component::simulate_source_components(
                             &mut *source,
                             d,
                             cbudget,
                             self.warmup,
-                        )
-                        .expect("suite sources cannot fail")];
+                        ) {
+                            Ok(stats) => stats,
+                            Err(shard::PipelineError::Io(e)) => {
+                                panic!("suite sources cannot fail: {e}")
+                            }
+                            Err(shard::PipelineError::Fault(fault)) => {
+                                recover_cell(job.key.as_str(), b.name(), &fault, || {
+                                    let mut kernel = (job.make)();
+                                    simulate_kernel(
+                                        &mut *self.suite.source(b),
+                                        &mut kernel,
+                                        self.warmup,
+                                    )
+                                    .expect("suite sources cannot fail")
+                                })
+                            }
+                        };
+                        return vec![stats];
                     }
                 }
             }

@@ -29,6 +29,10 @@
 //!   once into an IBPB segment under `results/.cache/traces/` and
 //!   replayed at memory speed by every later suite, materialised or
 //!   streamed, with byte-identical results;
+//! * [`faults`] — deterministic fault injection (`IBP_FAULTS`): named
+//!   panic/stall/IO sites firing on one-shot occurrence schedules, which
+//!   exercise the containment layer — contained worker faults degrade a
+//!   cell to the sequential fold with byte-identical results;
 //! * [`report`] — plain-text and CSV rendering of result tables;
 //! * [`experiments`] — one runner per figure/table of the paper (the
 //!   `ibp-bench` binaries are thin wrappers over these).
@@ -55,6 +59,7 @@ mod cache;
 pub mod component;
 pub mod engine;
 pub mod experiments;
+pub mod faults;
 mod parallel;
 pub mod probe;
 pub mod report;

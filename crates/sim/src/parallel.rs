@@ -1,10 +1,14 @@
 //! Minimal work-stealing-free parallel map over an item list.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use ibp_obs as obs;
 use ibp_obs::metrics::{Counter, Histogram, WorkClock};
+
+use crate::faults;
 
 fn busy_us_counter() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
@@ -26,6 +30,40 @@ fn util_histogram() -> &'static Arc<Histogram> {
     H.get_or_init(|| {
         obs::metrics::histogram("parallel.worker_util_pct", &[10, 25, 50, 75, 90, 95, 99, 100])
     })
+}
+
+/// Applies `f` to one item inside a `catch_unwind` containment boundary.
+/// A caught panic is retried once, inline on the same thread: the work
+/// queue is deterministic per item, so a first-attempt panic that does
+/// not reproduce was transient (or injected) and the retried result is
+/// exactly what the clean run computes. A second panic propagates — a
+/// deterministic failure is a real bug, not a fault to swallow.
+fn call_contained<T, R, F>(f: &F, item: &T, index: usize) -> R
+where
+    F: Fn(&T) -> R,
+{
+    match catch_unwind(AssertUnwindSafe(|| {
+        faults::fire_panic("parallel.worker");
+        f(item)
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            let detail = faults::panic_detail(payload.as_ref());
+            obs::warn!(
+                "parallel_map: contained a worker panic on item {index} ({detail}); retrying inline"
+            );
+            let start = Instant::now();
+            let result = f(item);
+            obs::event!(
+                "degraded",
+                site = "parallel.worker",
+                item = index,
+                detail = detail.as_str(),
+                retry_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+            );
+            result
+        }
+    }
 }
 
 /// Records one worker's busy/idle split into the metrics registry and an
@@ -75,7 +113,13 @@ where
     if threads <= 1 {
         let mut span = obs::span!("worker", threads = 1usize);
         let mut clock = WorkClock::start();
-        let out: Vec<R> = clock.busy(|| items.iter().map(&f).collect());
+        let out: Vec<R> = clock.busy(|| {
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| call_contained(&f, item, i))
+                .collect()
+        });
         observe_worker(&mut span, &clock, n);
         return out;
     }
@@ -96,7 +140,7 @@ where
                         if i >= n {
                             break;
                         }
-                        let r = clock.busy(|| f(&items[i]));
+                        let r = clock.busy(|| call_contained(&f, &items[i], i));
                         local.push((i, r));
                     }
                     observe_worker(&mut span, &clock, local.len());
@@ -106,7 +150,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel_map worker panicked"))
+            // `call_contained` retries the first panic per item, so a
+            // failed join means the same item panicked twice — a
+            // deterministic bug that must surface, not a contained fault.
+            .map(|h| h.join().expect("parallel_map worker panicked twice on one item"))
             .collect()
     });
 
@@ -154,6 +201,17 @@ mod tests {
         // minimum deltas only.
         assert!(items_counter().get() >= items_before + 16);
         assert!(util_histogram().snapshot().count > hist_before);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_retried() {
+        let _guard = faults::test_guard();
+        faults::override_spec(Some("parallel.worker@3")).unwrap();
+        let items: Vec<u64> = (0..12).collect();
+        let out = parallel_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..12).map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(faults::fired("parallel.worker"), 1);
+        faults::override_spec(None).unwrap();
     }
 
     #[test]

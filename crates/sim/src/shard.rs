@@ -39,7 +39,9 @@
 //! [`simulate_source`]: crate::simulate_source
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use ibp_core::{ChunkScorer, FoldKernel, ShardRouting, WarmTrigger};
 use ibp_obs as obs;
@@ -47,8 +49,79 @@ use ibp_obs::metrics::{Counter, Histogram, WorkClock};
 use ibp_trace::io::TraceIoError;
 use ibp_trace::{chunk_events, EventSource, TraceChunk, TraceEvent};
 
-use crate::probe::{self, ProbePayload, ProbeRun};
+use crate::faults;
+use crate::probe::{self, ProbePayload, ProbePolicy, ProbeRun};
 use crate::run::{simulate_kernel, RunStats};
+
+/// A contained failure in one pipeline worker: a caught panic, an
+/// injected stall, or a queue wait that exceeded the watchdog. Reported
+/// through the pipeline's result channel — never a poisoned lock or a
+/// process abort.
+#[derive(Debug, Clone)]
+pub struct WorkerFault {
+    /// Where the fault happened (a `faults` site name for injected
+    /// faults, `shard.queue`/`component.queue` for watchdogged waits).
+    pub site: &'static str,
+    /// Human-readable payload: the panic message or the stalled wait.
+    pub detail: String,
+}
+
+impl WorkerFault {
+    pub(crate) fn from_panic(
+        site: &'static str,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> WorkerFault {
+        WorkerFault {
+            site,
+            detail: faults::panic_detail(payload.as_ref()),
+        }
+    }
+
+    pub(crate) fn stalled(site: &'static str, waiting_for: &str) -> WorkerFault {
+        WorkerFault {
+            site,
+            detail: format!(
+                "queue wait exceeded the {:?} watchdog waiting for {waiting_for}",
+                faults::watchdog()
+            ),
+        }
+    }
+}
+
+impl fmt::Display for WorkerFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker fault at {}: {}", self.site, self.detail)
+    }
+}
+
+/// Why a parallel pipeline could not produce a result. The engine treats
+/// `Fault` as containable: it logs a `degraded` event and re-runs the
+/// cell on the sequential kernel fold, which is byte-identical.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The event source itself failed — sequential retry would hit the
+    /// same error, so this propagates.
+    Io(TraceIoError),
+    /// A worker thread failed or a queue stalled; the work is retryable.
+    Fault(WorkerFault),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Io(e) => write!(f, "{e}"),
+            PipelineError::Fault(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<TraceIoError> for PipelineError {
+    fn from(e: TraceIoError) -> Self {
+        PipelineError::Io(e)
+    }
+}
 
 /// How many shard workers a run may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -285,6 +358,11 @@ struct QueueState<T> {
     closed: bool,
 }
 
+/// A bounded queue wait exceeded the watchdog: the peer thread stopped
+/// making progress (it failed without closing the queue, or is wedged).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueueStalled;
+
 impl<T> SpscQueue<T> {
     pub(crate) fn new() -> Self {
         SpscQueue {
@@ -297,37 +375,64 @@ impl<T> SpscQueue<T> {
         }
     }
 
-    /// Blocks while the queue is full. Pushing after `close` drops the
-    /// item (the consumer is gone; only the error path does this).
-    pub(crate) fn push(&self, item: T) {
-        let mut state = self.state.lock().expect("pipeline queue poisoned");
+    /// Locks the queue state, recovering from poison. A worker that
+    /// panicked while holding the lock was between two field writes at
+    /// worst (push_back/pop_front keep the deque coherent), and the
+    /// containment layer needs the router to keep draining after any
+    /// worker dies — poison propagation would turn one contained panic
+    /// into a pipeline-wide abort.
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks while the queue is full, up to the watchdog bound per wait
+    /// (consulted only when a wait is actually needed — the uncontended
+    /// path costs nothing extra). Pushing after `close` drops the item
+    /// (the consumer is gone; only shutdown paths do this).
+    pub(crate) fn push(&self, item: T) -> Result<(), QueueStalled> {
+        let mut state = self.lock();
         while state.items.len() >= QUEUE_CAPACITY && !state.closed {
-            state = self.space.wait(state).expect("pipeline queue poisoned");
+            let (guard, timeout) = self
+                .space
+                .wait_timeout(state, faults::watchdog())
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+            if timeout.timed_out() && state.items.len() >= QUEUE_CAPACITY && !state.closed {
+                return Err(QueueStalled);
+            }
         }
         if !state.closed {
             state.items.push_back(item);
             self.ready.notify_one();
         }
+        Ok(())
     }
 
-    /// Blocks until an item arrives; `None` once the queue is closed and
-    /// drained.
-    pub(crate) fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("pipeline queue poisoned");
+    /// Blocks until an item arrives (watchdog-bounded per wait);
+    /// `Ok(None)` once the queue is closed and drained.
+    pub(crate) fn pop(&self) -> Result<Option<T>, QueueStalled> {
+        let mut state = self.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 self.space.notify_one();
-                return Some(item);
+                return Ok(Some(item));
             }
             if state.closed {
-                return None;
+                return Ok(None);
             }
-            state = self.ready.wait(state).expect("pipeline queue poisoned");
+            let (guard, timeout) = self
+                .ready
+                .wait_timeout(state, faults::watchdog())
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+            if timeout.timed_out() && state.items.is_empty() && !state.closed {
+                return Err(QueueStalled);
+            }
         }
     }
 
     pub(crate) fn close(&self) {
-        let mut state = self.state.lock().expect("pipeline queue poisoned");
+        let mut state = self.lock();
         state.closed = true;
         self.ready.notify_all();
         self.space.notify_all();
@@ -335,13 +440,15 @@ impl<T> SpscQueue<T> {
 }
 
 /// The router loop: pull source chunks, allocate the global warmup prefix
-/// to shards in event order, partition by site region, push batches.
+/// to shards in event order, partition by site region, push batches. A
+/// push that trips the watchdog means a worker died without closing its
+/// queue; the router reports the stall and lets the pipeline shut down.
 fn route_events<S: EventSource + ?Sized>(
     source: &mut S,
     routing: ShardRouting,
     queues: &[SpscQueue<Batch>],
     warmup: u64,
-) -> Result<u64, TraceIoError> {
+) -> Result<u64, PipelineError> {
     let shards = queues.len();
     let mut chunk = TraceChunk::default();
     let mut parts: Vec<TraceChunk> = vec![TraceChunk::default(); shards];
@@ -369,16 +476,99 @@ fn route_events<S: EventSource + ?Sized>(
         routed += chunk.indirect_count();
         for (i, part) in parts.iter_mut().enumerate() {
             if !part.is_empty() || warm[i] > 0 {
-                queues[i].push(Batch {
+                let batch = Batch {
                     chunk: std::mem::take(part),
                     warmup: std::mem::take(&mut warm[i]),
-                });
+                };
+                if queues[i].push(batch).is_err() {
+                    return Err(PipelineError::Fault(WorkerFault::stalled(
+                        "shard.queue",
+                        &format!("shard {i} to drain its queue"),
+                    )));
+                }
             }
         }
         if !more {
             return Ok(routed);
         }
     }
+}
+
+/// One shard worker's fold loop. Runs under the spawn's `catch_unwind`
+/// boundary; queue stalls (watchdogged waits) and injected stalls report
+/// as [`WorkerFault`]s through the return value.
+fn shard_worker(
+    shard: usize,
+    queue: &SpscQueue<Batch>,
+    make: &(dyn Fn() -> FoldKernel + Sync),
+    policy: ProbePolicy,
+    warmup: u64,
+) -> Result<(RunStats, Option<ProbePayload>), WorkerFault> {
+    let mut shard_span = obs::span!("shard", shard = shard);
+    let mut clock = WorkClock::start();
+    let mut kernel = make();
+    let mut probe = policy.on().then(|| ProbeRun::new(policy));
+    // The global warmup window is a stream prefix, so a
+    // worker's slice of the warm-point state is its state
+    // just before its first scored event (or at worker
+    // exit, if it never scores one). With no warmup there
+    // is no warm sample at all, hence the trigger choice:
+    // `AtCrossing` can never fire on a zero countdown.
+    // Interval samples stay sequential-only (`None`).
+    let mut scorer = match probe.as_mut() {
+        Some(p) if warmup > 0 => ChunkScorer::probed(0, p, WarmTrigger::BeforeFirstScored, None),
+        Some(p) => ChunkScorer::probed(0, p, WarmTrigger::AtCrossing, None),
+        None => ChunkScorer::new(0),
+    };
+    let mut events = 0u64;
+    loop {
+        let batch = match queue.pop() {
+            Ok(Some(batch)) => batch,
+            Ok(None) => break,
+            Err(QueueStalled) => {
+                return Err(WorkerFault::stalled("shard.queue", "the router"));
+            }
+        };
+        if faults::should_fire("shard.stall") {
+            // An injected stall: stop consuming *without* closing the
+            // queue, so the router's bounded push trips the watchdog —
+            // this exercises the hang-containment path, not the panic
+            // path.
+            return Err(WorkerFault {
+                site: "shard.stall",
+                detail: "injected worker stall".to_string(),
+            });
+        }
+        faults::fire_panic("shard.worker");
+        events += batch.chunk.indirect_count();
+        clock.busy(|| {
+            scorer.set_warmup(batch.warmup);
+            kernel.fold_chunk(batch.chunk.events(), &mut scorer);
+        });
+    }
+    let stats = RunStats {
+        indirect: scorer.indirect(),
+        mispredicted: scorer.mispredicted(),
+    };
+    let warm_pending = scorer.warm_pending();
+    let payload = probe.map(|mut p| {
+        // A worker that never scored an event still owns
+        // its slice of the warm-point state.
+        if warm_pending {
+            p.sample("warm", kernel.as_predictor());
+        }
+        p.sample("end", kernel.as_predictor());
+        p.into_payload()
+    });
+    events_counter().add(events);
+    busy_us_counter().add(clock.busy_us());
+    idle_us_counter().add(clock.idle_us());
+    occupancy_histogram().record(clock.util_pct());
+    shard_span.note("events", events);
+    shard_span.note("busy_us", clock.busy_us());
+    shard_span.note("idle_us", clock.idle_us());
+    shard_span.note("occupancy_pct", clock.util_pct());
+    Ok((stats, payload))
 }
 
 /// Folds one event source across `shards` parallel workers and merges the
@@ -398,18 +588,21 @@ fn route_events<S: EventSource + ?Sized>(
 ///
 /// # Errors
 ///
-/// Propagates the source's I/O or parse failures (workers are joined
-/// first; their partial stats are discarded).
+/// [`PipelineError::Io`] propagates the source's I/O or parse failures
+/// (workers are joined first; their partial stats are discarded).
+/// [`PipelineError::Fault`] reports a contained worker failure — a
+/// caught panic or a watchdogged queue stall; the caller can re-run the
+/// same fold sequentially for a byte-identical result.
 pub fn simulate_source_sharded<S: EventSource + ?Sized>(
     source: &mut S,
     make: &(dyn Fn() -> FoldKernel + Sync),
     routing: ShardRouting,
     shards: usize,
     warmup: u64,
-) -> Result<RunStats, TraceIoError> {
+) -> Result<RunStats, PipelineError> {
     if shards <= 1 {
         let mut kernel = make();
-        return simulate_kernel(source, &mut kernel, warmup);
+        return simulate_kernel(source, &mut kernel, warmup).map_err(PipelineError::Io);
     }
     let mut span = obs::span!(
         "shard_pipeline",
@@ -420,61 +613,26 @@ pub fn simulate_source_sharded<S: EventSource + ?Sized>(
     runs_counter().incr();
     let policy = probe::active_policy();
     let queues: Vec<SpscQueue<Batch>> = (0..shards).map(|_| SpscQueue::new()).collect();
-    let (routed, per_shard) = std::thread::scope(|scope| {
+    let outcome = std::thread::scope(|scope| {
         let handles: Vec<_> = queues
             .iter()
             .enumerate()
             .map(|(i, queue)| {
                 scope.spawn(move || {
-                    let mut shard_span = obs::span!("shard", shard = i);
-                    let mut clock = WorkClock::start();
-                    let mut kernel = make();
-                    let mut probe = policy.on().then(|| ProbeRun::new(policy));
-                    // The global warmup window is a stream prefix, so a
-                    // worker's slice of the warm-point state is its state
-                    // just before its first scored event (or at worker
-                    // exit, if it never scores one). With no warmup there
-                    // is no warm sample at all, hence the trigger choice:
-                    // `AtCrossing` can never fire on a zero countdown.
-                    // Interval samples stay sequential-only (`None`).
-                    let mut scorer = match probe.as_mut() {
-                        Some(p) if warmup > 0 => {
-                            ChunkScorer::probed(0, p, WarmTrigger::BeforeFirstScored, None)
+                    // The containment boundary: a panic anywhere in the
+                    // fold (including an injected one) becomes a fault
+                    // report on the worker's result channel, and the
+                    // dying worker closes its own queue so the router's
+                    // next push drops instead of backing up.
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        shard_worker(i, queue, make, policy, warmup)
+                    })) {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            queue.close();
+                            Err(WorkerFault::from_panic("shard.worker", payload))
                         }
-                        Some(p) => ChunkScorer::probed(0, p, WarmTrigger::AtCrossing, None),
-                        None => ChunkScorer::new(0),
-                    };
-                    let mut events = 0u64;
-                    while let Some(batch) = queue.pop() {
-                        events += batch.chunk.indirect_count();
-                        clock.busy(|| {
-                            scorer.set_warmup(batch.warmup);
-                            kernel.fold_chunk(batch.chunk.events(), &mut scorer);
-                        });
                     }
-                    let stats = RunStats {
-                        indirect: scorer.indirect(),
-                        mispredicted: scorer.mispredicted(),
-                    };
-                    let warm_pending = scorer.warm_pending();
-                    let payload = probe.map(|mut p| {
-                        // A worker that never scored an event still owns
-                        // its slice of the warm-point state.
-                        if warm_pending {
-                            p.sample("warm", kernel.as_predictor());
-                        }
-                        p.sample("end", kernel.as_predictor());
-                        p.into_payload()
-                    });
-                    events_counter().add(events);
-                    busy_us_counter().add(clock.busy_us());
-                    idle_us_counter().add(clock.idle_us());
-                    occupancy_histogram().record(clock.util_pct());
-                    shard_span.note("events", events);
-                    shard_span.note("busy_us", clock.busy_us());
-                    shard_span.note("idle_us", clock.idle_us());
-                    shard_span.note("occupancy_pct", clock.util_pct());
-                    (stats, payload)
                 })
             })
             .collect();
@@ -482,13 +640,28 @@ pub fn simulate_source_sharded<S: EventSource + ?Sized>(
         for queue in &queues {
             queue.close();
         }
-        let per_shard: Vec<(RunStats, Option<ProbePayload>)> = handles
+        let joined: Vec<Result<(RunStats, Option<ProbePayload>), WorkerFault>> = handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                // A panic that escaped the worker's own catch still
+                // joins as a fault — never a poison cascade.
+                Err(payload) => Err(WorkerFault::from_panic("shard.worker", payload)),
+            })
             .collect();
-        (routed, per_shard)
+        // Prefer a worker's own fault over the router-side symptom it
+        // causes (a stalled push): the worker knows the true site.
+        if let Some(fault) = joined.iter().find_map(|r| r.as_ref().err()) {
+            return Err(PipelineError::Fault(fault.clone()));
+        }
+        let routed = routed?;
+        let per_shard: Vec<(RunStats, Option<ProbePayload>)> = joined
+            .into_iter()
+            .map(|r| r.expect("worker faults handled above"))
+            .collect();
+        Ok((routed, per_shard))
     });
-    let routed = routed?;
+    let (routed, per_shard) = outcome?;
     // Merge in shard order. Both fields are u64 event counts, so the sum
     // is exact and order-independent — byte-identical to the sequential
     // fold's RunStats.
@@ -584,13 +757,14 @@ mod tests {
     fn queue_closes_cleanly_when_empty() {
         let q = SpscQueue::new();
         q.close();
-        assert!(q.pop().is_none());
+        assert!(q.pop().expect("closed, not stalled").is_none());
         // Pushing after close drops the batch rather than blocking.
         q.push(Batch {
             chunk: TraceChunk::default(),
             warmup: 0,
-        });
-        assert!(q.pop().is_none());
+        })
+        .expect("push after close drops");
+        assert!(q.pop().expect("closed, not stalled").is_none());
     }
 
     #[test]
@@ -604,17 +778,79 @@ mod tests {
                     q.push(Batch {
                         chunk: TraceChunk::default(),
                         warmup: i,
-                    });
+                    })
+                    .expect("live consumer");
                 }
                 q.close();
             });
             let mut expected = 0u64;
-            while let Some(batch) = q.pop() {
+            while let Some(batch) = q.pop().expect("live producer") {
                 assert_eq!(batch.warmup, expected);
                 expected += 1;
             }
             assert_eq!(expected, QUEUE_CAPACITY as u64 * 3);
         });
+    }
+
+    #[test]
+    fn queue_waits_are_bounded_by_the_watchdog() {
+        let _guard = faults::test_guard();
+        faults::override_spec(Some("watchdog=50")).unwrap();
+        let q: SpscQueue<u64> = SpscQueue::new();
+        // No producer: an empty-queue pop must stall out, not hang.
+        assert!(q.pop().is_err());
+        // No consumer: a push past capacity must stall out, not hang.
+        for i in 0..QUEUE_CAPACITY as u64 {
+            q.push(i).expect("below capacity");
+        }
+        let start = std::time::Instant::now();
+        assert!(q.push(99).is_err());
+        assert!(start.elapsed() >= std::time::Duration::from_millis(50));
+        // The queue stays usable after a stalled wait.
+        assert_eq!(q.pop().expect("items buffered"), Some(0));
+        faults::override_spec(None).unwrap();
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_as_a_fault() {
+        let _guard = faults::test_guard();
+        faults::override_spec(Some("shard.worker@2")).unwrap();
+        let t = spread_trace(3_000);
+        let cfg = PredictorConfig::btb_2bc();
+        let routing = cfg.shardable().expect("BTB-2bc shards");
+        let make = || cfg.build_kernel();
+        let err = simulate_source_sharded(&mut t.cursor(), &make, routing, 3, 0)
+            .expect_err("armed panic must surface as a pipeline error");
+        match err {
+            PipelineError::Fault(f) => {
+                assert_eq!(f.site, "shard.worker");
+                assert!(f.detail.contains("injected fault"), "detail: {}", f.detail);
+            }
+            PipelineError::Io(e) => panic!("unexpected io error: {e}"),
+        }
+        faults::override_spec(None).unwrap();
+        // The pipeline is intact for the sequential retry path.
+        let clean = simulate_source_sharded(&mut t.cursor(), &make, routing, 3, 0)
+            .expect("unfaulted rerun");
+        let mut p = cfg.build();
+        assert_eq!(clean, simulate_warm(&t, p.as_mut(), 0));
+    }
+
+    #[test]
+    fn injected_worker_stall_is_contained_as_a_fault() {
+        let _guard = faults::test_guard();
+        faults::override_spec(Some("shard.stall@1;watchdog=100")).unwrap();
+        let t = spread_trace(3_000);
+        let cfg = PredictorConfig::btb_2bc();
+        let routing = cfg.shardable().expect("BTB-2bc shards");
+        let make = || cfg.build_kernel();
+        let err = simulate_source_sharded(&mut t.cursor(), &make, routing, 3, 0)
+            .expect_err("armed stall must surface as a pipeline error");
+        match err {
+            PipelineError::Fault(f) => assert_eq!(f.site, "shard.stall"),
+            PipelineError::Io(e) => panic!("unexpected io error: {e}"),
+        }
+        faults::override_spec(None).unwrap();
     }
 
     #[test]
@@ -662,10 +898,10 @@ mod tests {
     #[test]
     fn tail_ratio_needs_a_sample_and_measures_p95_over_mean() {
         // Too few cells: no signal.
-        assert_eq!(tail_ratio(&mut vec![100; 7]), None);
+        assert_eq!(tail_ratio(&mut [100; 7]), None);
         assert_eq!(tail_ratio(&mut Vec::new()), None);
         // Flat cells: ratio 1.
-        let flat = tail_ratio(&mut vec![100; 20]).expect("enough cells");
+        let flat = tail_ratio(&mut [100; 20]).expect("enough cells");
         assert!((flat - 1.0).abs() < 1e-9);
         // 18 cells at 100us plus two 2000us stragglers: p95 lands on a
         // straggler, the mean stays near 100us.

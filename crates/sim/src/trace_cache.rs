@@ -253,6 +253,9 @@ fn verified() -> &'static Mutex<HashSet<PathBuf>> {
 /// Full checksum + structure verification of one segment file; returns
 /// the file length on success.
 fn verify_file(path: &Path) -> Result<u64, String> {
+    if let Some(e) = crate::faults::io_error("trace_cache.read") {
+        return Err(e.to_string());
+    }
     let file = fs::File::open(path).map_err(|e| e.to_string())?;
     let len = file.metadata().map_err(|e| e.to_string())?.len();
     verify_binary(file).map_err(|e| e.to_string())?;
@@ -263,6 +266,9 @@ fn verify_file(path: &Path) -> Result<u64, String> {
 /// the byte count.
 fn write_segment(benchmark: Benchmark, events: u64, tmp: &Path) -> Result<u64, String> {
     let mut file = fs::File::create(tmp).map_err(|e| e.to_string())?;
+    if let Some(e) = crate::faults::io_error("trace_cache.write") {
+        return Err(e.to_string());
+    }
     let mut source = benchmark.source(events);
     let bytes = write_binary_source(&mut source, &mut file).map_err(|e| e.to_string())?;
     file.sync_all().map_err(|e| e.to_string())?;
@@ -327,6 +333,7 @@ fn ensure_segment_at(root: &Path, benchmark: Benchmark, events: u64) -> Option<P
                     "trace cache: evicting corrupt segment {}: {e}",
                     path.display()
                 );
+                obs::event!("degraded", site = "trace_cache.read", detail = e.as_str());
                 let _ = fs::remove_file(&path);
             }
         }
@@ -353,12 +360,19 @@ fn ensure_segment_at(root: &Path, benchmark: Benchmark, events: u64) -> Option<P
         Ok(bytes) => bytes,
         Err(e) => {
             obs::warn!("trace cache: cannot write {}: {e}", tmp.display());
+            obs::event!("degraded", site = "trace_cache.write", detail = e.as_str());
             let _ = fs::remove_file(&tmp);
             return None;
         }
     };
-    if let Err(e) = fs::rename(&tmp, &path) {
+    let published = match crate::faults::io_error("trace_cache.rename") {
+        Some(e) => Err(e),
+        None => fs::rename(&tmp, &path),
+    };
+    if let Err(e) = published {
         obs::warn!("trace cache: cannot publish {}: {e}", path.display());
+        let detail = e.to_string();
+        obs::event!("degraded", site = "trace_cache.rename", detail = detail.as_str());
         let _ = fs::remove_file(&tmp);
         return None;
     }
@@ -421,6 +435,17 @@ pub fn trace_for(benchmark: Benchmark, events: u64) -> Option<Trace> {
 pub fn purge() {
     let root = traces_root();
     let _ = fs::remove_dir_all(&root);
+    verified()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// Forgets every segment this process has verified (or written), forcing
+/// the next request for each to re-verify the file on disk — what a fresh
+/// process would do. Fault harnesses use it to re-exercise the
+/// verification path without spawning a process.
+pub fn forget_verified() {
     verified()
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
@@ -548,6 +573,65 @@ mod tests {
         let ta = collect_source(&mut a).expect("a");
         let tb = collect_source(&mut b).expect("b");
         assert_eq!(ta.events(), tb.events());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_read_fault_evicts_and_regenerates() {
+        let _faults = crate::faults::test_guard();
+        let root = scratch_root("read-fault");
+        let path = ensure_segment_at(&root, Benchmark::Ixx, EVENTS).expect("segment");
+        forget(&path);
+        crate::faults::override_spec(Some("trace_cache.read@1")).unwrap();
+        let before = stats();
+        let again = ensure_segment_at(&root, Benchmark::Ixx, EVENTS).expect("segment");
+        crate::faults::override_spec(None).unwrap();
+        assert_eq!(again, path);
+        assert_eq!(stats().since(before).misses, 1, "read fault -> evict + regenerate");
+        verify_file(&path).expect("regenerated segment verifies");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_write_fault_cleans_up_and_falls_back() {
+        let _faults = crate::faults::test_guard();
+        let root = scratch_root("write-fault");
+        crate::faults::override_spec(Some("trace_cache.write@1")).unwrap();
+        assert!(
+            ensure_segment_at(&root, Benchmark::Ixx, EVENTS).is_none(),
+            "write fault -> caller falls back to direct generation"
+        );
+        crate::faults::override_spec(None).unwrap();
+        if let Ok(entries) = fs::read_dir(version_dir(&root)) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                assert!(
+                    !name.to_string_lossy().contains(".tmp."),
+                    "temp file left behind: {name:?}"
+                );
+            }
+        }
+        ensure_segment_at(&root, Benchmark::Ixx, EVENTS).expect("clean retry publishes");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_rename_fault_cleans_up_and_falls_back() {
+        let _faults = crate::faults::test_guard();
+        let root = scratch_root("rename-fault");
+        crate::faults::override_spec(Some("trace_cache.rename@1")).unwrap();
+        assert!(ensure_segment_at(&root, Benchmark::Ixx, EVENTS).is_none());
+        crate::faults::override_spec(None).unwrap();
+        if let Ok(entries) = fs::read_dir(version_dir(&root)) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                assert!(
+                    !name.to_string_lossy().contains(".tmp."),
+                    "temp file left behind: {name:?}"
+                );
+            }
+        }
+        ensure_segment_at(&root, Benchmark::Ixx, EVENTS).expect("clean retry publishes");
         let _ = fs::remove_dir_all(&root);
     }
 

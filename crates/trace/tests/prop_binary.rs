@@ -68,7 +68,7 @@ fn drain(bytes: &[u8], budget: u64) -> Trace {
         out.record_instructions(chunk.plain_instructions());
         out.record_cond_summary(chunk.cond_summarised());
         for event in chunk.events() {
-            out.push(event.clone());
+            out.push(*event);
         }
         if !more {
             break;
